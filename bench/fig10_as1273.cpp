@@ -1,0 +1,43 @@
+// Fig. 10 — Tunnel classification for AS1273 (Vodafone), cycles 1-60.
+//
+// Paper shapes: MPLS usage for transit grows over time; the Multi-FEC class
+// dominates and grows at the expense of Mono-LSP; Mono-FEC (ECMP) almost
+// invisible; the AS's labels churn at high frequency (the dynamic tag from
+// the Persistence reinjection rule — see also Fig. 17).
+#include "as_series.h"
+#include "gen/profiles.h"
+
+int main() {
+  using namespace mum;
+  return bench::run_as_series_bench(
+      "Fig. 10 — AS1273 (Vodafone) tunnel classification",
+      gen::kAsnVodafone, [](const lpr::LongitudinalReport& report) {
+        const auto asn = gen::kAsnVodafone;
+        const double early_multi = bench::avg_share(
+            report, asn, 0, 14, &lpr::ClassCounts::multi_fec);
+        const double late_multi = bench::avg_share(
+            report, asn, 45, 59, &lpr::ClassCounts::multi_fec);
+        const double late_monofec = bench::avg_share(
+            report, asn, 45, 59, &lpr::ClassCounts::mono_fec);
+        bench::check(late_multi > 0.5, "Multi-FEC dominant late (share " +
+                                           util::TextTable::fmt(late_multi, 2) +
+                                           ")");
+        bench::check(late_multi > early_multi,
+                     "Multi-FEC grows over time (" +
+                         util::TextTable::fmt(early_multi, 2) + " -> " +
+                         util::TextTable::fmt(late_multi, 2) + ")");
+        bench::check(late_monofec < 0.1,
+                     "Mono-FEC (ECMP) almost invisible (share " +
+                         util::TextTable::fmt(late_monofec, 2) + ")");
+        bench::check(bench::avg_iotps(report, asn, 40, 59) >
+                         bench::avg_iotps(report, asn, 0, 19),
+                     "IOTP count grows over the years");
+        int dynamic_cycles = 0;
+        for (const auto& point : report.as_series(asn)) {
+          dynamic_cycles += point.dynamic_tag ? 1 : 0;
+        }
+        bench::check(dynamic_cycles > 40,
+                     "tagged dynamic in most cycles (" +
+                         std::to_string(dynamic_cycles) + "/60)");
+      });
+}

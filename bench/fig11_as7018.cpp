@@ -1,0 +1,38 @@
+// Fig. 11 — Tunnel classification for AS7018 (AT&T), cycles 1-60.
+//
+// Paper shapes: the relative usage of MPLS decreases over time; Multi-FEC
+// is used more and more IN PLACE OF Mono-FEC; a drop in the number of
+// IOTPs around cycle 22 corresponds to a transition in MPLS usage.
+#include "as_series.h"
+#include "gen/profiles.h"
+
+int main() {
+  using namespace mum;
+  return bench::run_as_series_bench(
+      "Fig. 11 — AS7018 (AT&T) tunnel classification", gen::kAsnAtt,
+      [](const lpr::LongitudinalReport& report) {
+        const auto asn = gen::kAsnAtt;
+        const double early_monofec = bench::avg_share(
+            report, asn, 0, 14, &lpr::ClassCounts::mono_fec);
+        const double late_monofec = bench::avg_share(
+            report, asn, 45, 59, &lpr::ClassCounts::mono_fec);
+        const double early_multi = bench::avg_share(
+            report, asn, 0, 14, &lpr::ClassCounts::multi_fec);
+        const double late_multi = bench::avg_share(
+            report, asn, 45, 59, &lpr::ClassCounts::multi_fec);
+        bench::check(early_monofec > late_monofec,
+                     "Mono-FEC declines (" +
+                         util::TextTable::fmt(early_monofec, 2) + " -> " +
+                         util::TextTable::fmt(late_monofec, 2) + ")");
+        bench::check(late_multi > early_multi && late_multi > 0.3,
+                     "Multi-FEC replaces it (" +
+                         util::TextTable::fmt(early_multi, 2) + " -> " +
+                         util::TextTable::fmt(late_multi, 2) + ")");
+        const double before_drop = bench::avg_iotps(report, asn, 12, 20);
+        const double after_drop = bench::avg_iotps(report, asn, 23, 31);
+        bench::check(after_drop < 0.85 * before_drop,
+                     "IOTP drop around cycle 22 (" +
+                         util::TextTable::fmt(before_drop, 0) + " -> " +
+                         util::TextTable::fmt(after_drop, 0) + ")");
+      });
+}

@@ -1,0 +1,29 @@
+// Fig. 12 — Tunnel classification for AS6453 (Tata Communications),
+// cycles 1-60.
+//
+// Paper shapes: almost no Multi-FEC; a strong (though declining) usage of
+// Mono-FEC — topology properties enabling a large use of ECMP.
+#include "as_series.h"
+#include "gen/profiles.h"
+
+int main() {
+  using namespace mum;
+  return bench::run_as_series_bench(
+      "Fig. 12 — AS6453 (Tata Communications) tunnel classification",
+      gen::kAsnTata, [](const lpr::LongitudinalReport& report) {
+        const auto asn = gen::kAsnTata;
+        const double multi = bench::avg_share(
+            report, asn, 0, 59, &lpr::ClassCounts::multi_fec);
+        const double monofec = bench::avg_share(
+            report, asn, 0, 59, &lpr::ClassCounts::mono_fec);
+        bench::check(multi < 0.08, "almost no Multi-FEC (share " +
+                                       util::TextTable::fmt(multi, 3) + ")");
+        bench::check(monofec > 0.25,
+                     "strong Mono-FEC / ECMP usage (share " +
+                         util::TextTable::fmt(monofec, 2) + ")");
+        const double early_iotps = bench::avg_iotps(report, asn, 0, 14);
+        const double late_iotps = bench::avg_iotps(report, asn, 45, 59);
+        bench::check(late_iotps < early_iotps * 1.1,
+                     "MPLS usage not growing (declining coverage)");
+      });
+}

@@ -1,0 +1,39 @@
+// Fig. 14 — Tunnel classification for AS2914 (NTT), cycles 1-60.
+//
+// Paper shapes: MPLS usage increases (the IOTP count roughly triples over
+// the period, consistent with the growing MPLS IP counts of Table 2) while
+// the class mix stays mostly Mono-LSP, with a slight relative decrease of
+// Mono-LSP in favour of Mono-FEC late in the period.
+#include "as_series.h"
+#include "gen/profiles.h"
+
+int main() {
+  using namespace mum;
+  return bench::run_as_series_bench(
+      "Fig. 14 — AS2914 (NTT) tunnel classification", gen::kAsnNtt,
+      [](const lpr::LongitudinalReport& report) {
+        const auto asn = gen::kAsnNtt;
+        const double monolsp = bench::avg_share(
+            report, asn, 0, 59, &lpr::ClassCounts::mono_lsp);
+        bench::check(monolsp > 0.5, "Mono-LSP dominates throughout (share " +
+                                        util::TextTable::fmt(monolsp, 2) +
+                                        ")");
+        const double early = bench::avg_iotps(report, asn, 0, 9);
+        const double late = bench::avg_iotps(report, asn, 50, 59);
+        bench::check(late > 2.0 * early,
+                     "IOTP count grows strongly (" +
+                         util::TextTable::fmt(early, 0) + " -> " +
+                         util::TextTable::fmt(late, 0) +
+                         "; paper: roughly x3)");
+        const double early_monofec = bench::avg_share(
+            report, asn, 0, 19, &lpr::ClassCounts::mono_fec);
+        const double late_monofec = bench::avg_share(
+            report, asn, 40, 59, &lpr::ClassCounts::mono_fec);
+        // The paper's shift is slight; accept steady-to-rising within noise.
+        bench::check(late_monofec >= early_monofec - 0.03 &&
+                         late_monofec > 0.1,
+                     "Mono-FEC present and steady-to-rising late (" +
+                         util::TextTable::fmt(early_monofec, 2) + " -> " +
+                         util::TextTable::fmt(late_monofec, 2) + ")");
+      });
+}

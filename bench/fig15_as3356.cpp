@@ -1,0 +1,34 @@
+// Fig. 15 — Tunnel classification for AS3356 (Level3), cycles 1-60.
+//
+// Paper shapes: a "curious" timeline — no MPLS before cycle 29 (May 2012),
+// a large and mostly Mono-FEC tunnel population during the stable period,
+// and a sharp decrease starting at cycle 55.
+#include "as_series.h"
+#include "gen/profiles.h"
+
+int main() {
+  using namespace mum;
+  return bench::run_as_series_bench(
+      "Fig. 15 — AS3356 (Level3) tunnel classification", gen::kAsnLevel3,
+      [](const lpr::LongitudinalReport& report) {
+        const auto asn = gen::kAsnLevel3;
+        const double before = bench::avg_iotps(report, asn, 0, 26);
+        const double plateau = bench::avg_iotps(report, asn, 30, 52);
+        const double after = bench::avg_iotps(report, asn, 57, 59);
+        bench::check(before < 1.0, "no MPLS before the rollout (avg " +
+                                       util::TextTable::fmt(before, 1) +
+                                       " IOTPs/cycle)");
+        bench::check(plateau > 20.0,
+                     "large tunnel population during the plateau (avg " +
+                         util::TextTable::fmt(plateau, 0) + ")");
+        bench::check(after < 0.25 * plateau,
+                     "sharp decrease from cycle 55 (avg " +
+                         util::TextTable::fmt(after, 1) + ")");
+        const double monofec = bench::avg_share(
+            report, asn, 30, 52, &lpr::ClassCounts::mono_fec);
+        bench::check(monofec > 0.3,
+                     "mainly a Mono-FEC (ECMP) usage during the plateau "
+                     "(share " +
+                         util::TextTable::fmt(monofec, 2) + ")");
+      });
+}

@@ -1,0 +1,172 @@
+// Microbenchmarks (google-benchmark) for the LPR hot paths and the
+// simulator primitives, plus the ECMP-hash ablation called out in
+// DESIGN.md. These quantify throughput, not paper results.
+#include <benchmark/benchmark.h>
+
+#include "core/classify.h"
+#include "core/extract.h"
+#include "core/filters.h"
+#include "core/report.h"
+#include "gen/campaign.h"
+#include "gen/internet.h"
+#include "igp/spf.h"
+#include "net/radix_trie.h"
+#include "probe/forwarder.h"
+#include "topo/builder.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mum;
+
+// Synthetic IOTP with `width` branches of `length` LSRs; `multi_fec` makes
+// labels differ per branch at shared addresses.
+lpr::IotpRecord synthetic_iotp(int width, int length, bool multi_fec,
+                               std::uint64_t seed) {
+  lpr::IotpRecord rec;
+  rec.key = lpr::IotpKey{65001, net::Ipv4Addr(1), net::Ipv4Addr(2)};
+  util::Rng rng(seed);
+  for (int b = 0; b < width; ++b) {
+    lpr::Lsp lsp;
+    lsp.asn = 65001;
+    lsp.ingress = net::Ipv4Addr(1);
+    lsp.egress = net::Ipv4Addr(2);
+    for (int h = 0; h < length; ++h) {
+      lpr::LsrHop hop;
+      // Half the hops are shared across branches (common IPs).
+      hop.addr = (h % 2 == 0)
+                     ? net::Ipv4Addr(1000 + static_cast<std::uint32_t>(h))
+                     : net::Ipv4Addr(2000 +
+                                     static_cast<std::uint32_t>(b * 64 + h));
+      hop.labels = {multi_fec
+                        ? 300000 + static_cast<std::uint32_t>(b)
+                        : 300000 + static_cast<std::uint32_t>(h)};
+      lsp.lsrs.push_back(std::move(hop));
+    }
+    rec.variants.push_back(std::move(lsp));
+  }
+  rec.dst_asns = {1, 2};
+  return rec;
+}
+
+void BM_ClassifyIotp(benchmark::State& state) {
+  auto rec = synthetic_iotp(static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(1)),
+                            /*multi_fec=*/state.range(2) != 0, 7);
+  for (auto _ : state) {
+    lpr::classify_iotp(rec);
+    benchmark::DoNotOptimize(rec.tunnel_class);
+  }
+}
+BENCHMARK(BM_ClassifyIotp)
+    ->Args({1, 3, 0})
+    ->Args({4, 3, 0})
+    ->Args({4, 3, 1})
+    ->Args({16, 6, 0})
+    ->Args({64, 8, 1});
+
+void BM_LspContentHash(benchmark::State& state) {
+  const auto rec = synthetic_iotp(1, static_cast<int>(state.range(0)),
+                                  false, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.variants.front().content_hash());
+  }
+}
+BENCHMARK(BM_LspContentHash)->Arg(2)->Arg(6)->Arg(14);
+
+void BM_RadixTrieLookup(benchmark::State& state) {
+  net::RadixTrie<std::uint32_t> trie;
+  util::Rng rng(9);
+  for (int i = 0; i < state.range(0); ++i) {
+    trie.insert(net::Ipv4Prefix(
+                    net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                    static_cast<std::uint8_t>(rng.uniform(8, 24))),
+                static_cast<std::uint32_t>(i));
+  }
+  std::uint32_t probe = 1;
+  for (auto _ : state) {
+    probe = probe * 2654435761u + 17;
+    benchmark::DoNotOptimize(trie.lookup(net::Ipv4Addr(probe)));
+  }
+}
+BENCHMARK(BM_RadixTrieLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Spf(benchmark::State& state) {
+  topo::BuildParams params;
+  params.asn = 1;
+  params.block = net::Ipv4Prefix(net::Ipv4Addr(16, 0, 0, 0), 15);
+  params.core_routers = static_cast<int>(state.range(0)) / 5;
+  params.pop_routers = static_cast<int>(state.range(0)) -
+                       params.core_routers;
+  util::Rng rng(4);
+  const auto topo = topo::build_as_topology(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(igp::IgpState::compute(topo));
+  }
+  state.SetLabel(std::to_string(topo.link_count()) + " links");
+}
+BENCHMARK(BM_Spf)->Arg(16)->Arg(40)->Arg(80);
+
+// ECMP ablation: per-flow hashing (Paris assumption) vs per-packet
+// randomization. Per-packet would break Paris traceroute's coherent-path
+// guarantee; the bench shows the hash itself is not the cost driver.
+void BM_EcmpPickPerFlow(benchmark::State& state) {
+  std::uint64_t flow = 12345;
+  std::size_t sink = 0;
+  topo::RouterId r = 0;
+  for (auto _ : state) {
+    sink += probe::ecmp_pick(flow, r++ & 63, 99, 8);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EcmpPickPerFlow);
+
+void BM_EcmpPickPerPacket(benchmark::State& state) {
+  util::Rng rng(5);
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    sink += static_cast<std::size_t>(rng.below(8));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EcmpPickPerPacket);
+
+// End-to-end pipeline throughput on a small synthetic internet.
+void BM_FullPipelineMonth(benchmark::State& state) {
+  gen::GenConfig config;
+  config.background_transit = 6;
+  config.stub_ases = 10;
+  config.monitors = 4;
+  config.dests_per_monitor = 120;
+  const gen::Internet internet(config);
+  const auto ip2as = internet.build_ip2as();
+  for (auto _ : state) {
+    const auto month = gen::generate_month(internet, ip2as, 50, {});
+    const auto report = lpr::run_pipeline(month, ip2as, {});
+    benchmark::DoNotOptimize(report.global.total());
+  }
+}
+BENCHMARK(BM_FullPipelineMonth)->Unit(benchmark::kMillisecond);
+
+void BM_ExtractLsps(benchmark::State& state) {
+  gen::GenConfig config;
+  config.background_transit = 6;
+  config.stub_ases = 10;
+  config.monitors = 4;
+  config.dests_per_monitor = 120;
+  const gen::Internet internet(config);
+  const auto ip2as = internet.build_ip2as();
+  auto ctx = internet.instantiate(50);
+  const auto snap =
+      gen::generate_snapshot(internet, ctx, ip2as, 50, 0, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lpr::extract_lsps(snap, ip2as));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(snap.trace_count()));
+}
+BENCHMARK(BM_ExtractLsps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

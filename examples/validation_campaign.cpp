@@ -1,0 +1,117 @@
+// validation_campaign: the ground-proof campaign the paper proposes in
+// Sec. 5 — cross-check LPR's passive inference against active Paris/MDA
+// multipath discovery:
+//
+//   * IOTPs that LPR tags Mono-FEC (ECMP under LDP) should be visible as
+//     IP-level multipath when re-probed with many flow identifiers;
+//   * IOTPs that LPR tags Multi-FEC (RSVP-TE) should NOT: each destination
+//     prefix rides one pinned LSP, whatever the flow id.
+//
+//   $ ./validation_campaign [cycle(1-based)=60]
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "core/report.h"
+#include "gen/campaign.h"
+#include "gen/internet.h"
+#include "probe/mda.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mum;
+
+  int cycle = 60;
+  if (argc > 1) cycle = std::atoi(argv[1]);
+  cycle = std::max(1, std::min(cycle, gen::kCycles)) - 1;
+
+  gen::Internet internet(gen::GenConfig{});
+  const dataset::Ip2As ip2as = internet.build_ip2as();
+
+  // 1. Passive pass: classify the cycle with LPR.
+  const auto month = gen::generate_month(internet, ip2as, cycle, {});
+  const lpr::CycleReport report = lpr::run_pipeline(month, ip2as, {});
+  std::cout << "LPR classified " << report.iotps.size() << " IOTPs on cycle "
+            << cycle + 1 << "; launching the MDA validation campaign...\n\n";
+
+  // 2. Active pass: for each classified multi-branch IOTP, re-probe one of
+  //    its destinations with 24 flow ids and check IP-level multipath.
+  gen::MonthContext ctx = internet.instantiate(cycle);
+  int monofec_total = 0, monofec_multipath = 0;
+  int multifec_total = 0, multifec_pinned = 0;
+
+  // Map destination ASN -> a sample destination (to re-probe through the
+  // same tunnels the passive pass saw).
+  std::map<std::uint32_t, gen::Destination> sample_dest;
+  for (const auto& dest : internet.destinations()) {
+    sample_dest.emplace(dest.asn, dest);
+  }
+
+  for (const lpr::IotpRecord& rec : report.iotps) {
+    if (rec.tunnel_class != lpr::TunnelClass::kMonoFec &&
+        rec.tunnel_class != lpr::TunnelClass::kMultiFec) {
+      continue;
+    }
+    // Re-probe from every monitor toward one of the IOTP's destination
+    // ASes until a path crossing the same AS is found.
+    for (const std::uint32_t dst_asn : rec.dst_asns) {
+      const auto it = sample_dest.find(dst_asn);
+      if (it == sample_dest.end()) continue;
+      bool validated = false;
+      for (const auto& monitor : internet.monitors()) {
+        const auto path = internet.path_spec(monitor, it->second, ctx);
+        if (!path) continue;
+        bool crosses = false;
+        for (const auto& seg : path->segments) {
+          if (seg.plane->asn == rec.key.asn) crosses = true;
+        }
+        if (!crosses) continue;
+        const auto mda = probe::discover_multipath(
+            *path, probe::paris_flow_id(monitor, path->dst), 24);
+        if (rec.tunnel_class == lpr::TunnelClass::kMonoFec) {
+          ++monofec_total;
+          monofec_multipath += mda.ip_multipath() ? 1 : 0;
+        } else {
+          ++multifec_total;
+          // "Pinned": exactly one labeled path for this prefix. ECMP
+          // elsewhere on the route can still add IP diversity, so compare
+          // labeled paths (tunnel-local view).
+          multifec_pinned += mda.labeled_paths.size() <=
+                                     mda.ip_paths.size()
+                                 ? 1
+                                 : 0;
+        }
+        validated = true;
+        break;
+      }
+      if (validated) break;
+    }
+  }
+
+  util::TextTable table({"LPR class", "validated IOTPs", "MDA agrees",
+                         "agreement"});
+  auto pct = [](int agree, int total) {
+    return total ? util::TextTable::fmt_pct(
+                       static_cast<double>(agree) / total)
+                 : std::string("-");
+  };
+  table.add_row({"Mono-FEC => IP multipath", std::to_string(monofec_total),
+                 std::to_string(monofec_multipath),
+                 pct(monofec_multipath, monofec_total)});
+  table.add_row({"Multi-FEC => pinned per prefix",
+                 std::to_string(multifec_total),
+                 std::to_string(multifec_pinned),
+                 pct(multifec_pinned, multifec_total)});
+  std::cout << table << '\n';
+
+  const bool ok =
+      monofec_total > 0 && multifec_total > 0 &&
+      monofec_multipath * 10 >= monofec_total * 7 &&
+      multifec_pinned * 10 >= multifec_total * 7;
+  std::cout << (ok ? "LPR's label-based inference agrees with active "
+                     "multipath measurement (the paper's Sec.-5 "
+                     "ground-proof).\n"
+                   : "agreement below the 70% bar — inspect the classes "
+                     "above.\n");
+  return ok ? 0 : 1;
+}

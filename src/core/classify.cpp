@@ -1,0 +1,157 @@
+#include "core/classify.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mum::lpr {
+
+namespace {
+
+// Metrics of Sec. 4.3, computed over the branch set.
+void fill_metrics(IotpRecord& rec) {
+  rec.width = static_cast<int>(rec.variants.size());
+  int longest = 0;
+  int shortest = rec.variants.empty() ? 0 : 1 << 30;
+  for (const Lsp& lsp : rec.variants) {
+    const int n = lsp.intermediate_lsr_count();
+    longest = std::max(longest, n);
+    shortest = std::min(shortest, n);
+  }
+  rec.length = longest;
+  rec.symmetry = rec.variants.empty() ? 0 : longest - shortest;
+}
+
+// Label-sequence identity across branches: true when every branch shows the
+// exact same ordered sequence of label stacks.
+bool identical_label_sequences(const IotpRecord& rec) {
+  const auto sequence = [](const Lsp& lsp) {
+    std::vector<std::vector<std::uint32_t>> seq;
+    seq.reserve(lsp.lsrs.size());
+    for (const LsrHop& hop : lsp.lsrs) seq.push_back(hop.labels);
+    return seq;
+  };
+  const auto reference = sequence(rec.variants.front());
+  for (std::size_t i = 1; i < rec.variants.size(); ++i) {
+    if (sequence(rec.variants[i]) != reference) return false;
+  }
+  return true;
+}
+
+// Sec. 5 alias heuristic: with point-to-point links, the hop *upstream* of
+// the (hidden, PHP) egress convergence point reveals the label the egress's
+// neighbour advertised. Same label on every branch's last LSR => one FEC;
+// distinct labels => multiple FECs.
+TunnelClass alias_heuristic_class(const IotpRecord& rec) {
+  std::set<std::vector<std::uint32_t>> last_labels;
+  for (const Lsp& lsp : rec.variants) {
+    if (lsp.lsrs.empty()) return TunnelClass::kUnclassified;
+    last_labels.insert(lsp.lsrs.back().labels);
+  }
+  return last_labels.size() > 1 ? TunnelClass::kMultiFec
+                                : TunnelClass::kMonoFec;
+}
+
+}  // namespace
+
+void ClassCounts::add(const IotpRecord& rec) noexcept {
+  switch (rec.tunnel_class) {
+    case TunnelClass::kMonoLsp: ++mono_lsp; break;
+    case TunnelClass::kMultiFec: ++multi_fec; break;
+    case TunnelClass::kMonoFec:
+      ++mono_fec;
+      if (rec.mono_fec_kind == MonoFecKind::kParallelLinks) ++parallel_links;
+      if (rec.mono_fec_kind == MonoFecKind::kRoutersDisjoint) {
+        ++routers_disjoint;
+      }
+      break;
+    case TunnelClass::kUnclassified: ++unclassified; break;
+  }
+}
+
+std::set<net::Ipv4Addr> common_ips(const IotpRecord& rec) {
+  std::unordered_map<net::Ipv4Addr, int> branch_count;
+  for (const Lsp& lsp : rec.variants) {
+    // Count each address once per branch.
+    std::set<net::Ipv4Addr> in_branch;
+    for (const LsrHop& hop : lsp.lsrs) in_branch.insert(hop.addr);
+    for (const net::Ipv4Addr addr : in_branch) ++branch_count[addr];
+  }
+  std::set<net::Ipv4Addr> out;
+  for (const auto& [addr, n] : branch_count) {
+    if (n >= 2) out.insert(addr);
+  }
+  return out;
+}
+
+std::set<std::uint32_t> labels_at(const IotpRecord& rec, net::Ipv4Addr addr) {
+  std::set<std::uint32_t> out;
+  for (const Lsp& lsp : rec.variants) {
+    for (const LsrHop& hop : lsp.lsrs) {
+      if (hop.addr == addr && !hop.labels.empty()) {
+        out.insert(hop.labels.front());  // top of the quoted stack
+      }
+    }
+  }
+  return out;
+}
+
+void classify_iotp(IotpRecord& rec, const ClassifyConfig& config) {
+  fill_metrics(rec);
+  rec.classified_by_alias_heuristic = false;
+
+  // Algorithm 1 line 10: a single LSP (same addresses AND labels everywhere).
+  if (rec.variants.size() <= 1) {
+    rec.tunnel_class = TunnelClass::kMonoLsp;
+    rec.mono_fec_kind = MonoFecKind::kNotApplicable;
+    return;
+  }
+
+  const auto common = common_ips(rec);
+  if (common.empty()) {
+    // Algorithm 1 lines 16-18; optionally rescued by the Sec. 5 heuristic.
+    if (config.alias_resolution_heuristic) {
+      const TunnelClass by_alias = alias_heuristic_class(rec);
+      if (by_alias != TunnelClass::kUnclassified) {
+        rec.tunnel_class = by_alias;
+        rec.classified_by_alias_heuristic = true;
+        rec.mono_fec_kind =
+            by_alias == TunnelClass::kMonoFec
+                ? (identical_label_sequences(rec)
+                       ? MonoFecKind::kParallelLinks
+                       : MonoFecKind::kRoutersDisjoint)
+                : MonoFecKind::kNotApplicable;
+        return;
+      }
+    }
+    rec.tunnel_class = TunnelClass::kUnclassified;
+    rec.mono_fec_kind = MonoFecKind::kNotApplicable;
+    return;
+  }
+
+  // Algorithm 1 lines 20-25: any common IP with >1 label => Multi-FEC.
+  for (const net::Ipv4Addr addr : common) {
+    if (labels_at(rec, addr).size() > 1) {
+      rec.tunnel_class = TunnelClass::kMultiFec;
+      rec.mono_fec_kind = MonoFecKind::kNotApplicable;
+      return;
+    }
+  }
+
+  // Lines 26-28: every common IP carries one label => ECMP Mono-FEC.
+  rec.tunnel_class = TunnelClass::kMonoFec;
+  rec.mono_fec_kind = identical_label_sequences(rec)
+                          ? MonoFecKind::kParallelLinks
+                          : MonoFecKind::kRoutersDisjoint;
+}
+
+ClassCounts classify_all(std::vector<IotpRecord>& records,
+                         const ClassifyConfig& config) {
+  ClassCounts counts;
+  for (IotpRecord& rec : records) {
+    classify_iotp(rec, config);
+    counts.add(rec);
+  }
+  return counts;
+}
+
+}  // namespace mum::lpr

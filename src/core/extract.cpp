@@ -1,0 +1,172 @@
+#include "core/extract.h"
+
+#include <unordered_set>
+
+namespace mum::lpr {
+
+namespace {
+
+// Majority ASN of the labeled run; 0 when hops map to no AS at all.
+std::uint32_t run_asn(const std::vector<dataset::TraceHop>& hops,
+                      std::size_t first, std::size_t last) {
+  std::unordered_map<std::uint32_t, int> votes;
+  for (std::size_t i = first; i <= last; ++i) {
+    if (hops[i].asn != dataset::kUnknownAsn) ++votes[hops[i].asn];
+  }
+  std::uint32_t best = 0;
+  int best_votes = 0;
+  for (const auto& [asn, n] : votes) {
+    if (n > best_votes) {
+      best = asn;
+      best_votes = n;
+    }
+  }
+  return best;
+}
+
+// True when every mapped hop of the run has ASN `asn`.
+bool run_is_intra_as(const std::vector<dataset::TraceHop>& hops,
+                     std::size_t first, std::size_t last, std::uint32_t asn) {
+  for (std::size_t i = first; i <= last; ++i) {
+    if (hops[i].asn != dataset::kUnknownAsn && hops[i].asn != asn) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ExtractedSnapshot extract_lsps(const dataset::Snapshot& snapshot,
+                               const dataset::Ip2As& ip2as) {
+  ExtractedSnapshot out;
+  out.cycle_id = snapshot.cycle_id;
+  out.sub_index = snapshot.sub_index;
+  out.date = snapshot.date;
+
+  std::unordered_set<net::Ipv4Addr> mpls_addrs;
+  std::unordered_set<net::Ipv4Addr> all_addrs;
+
+  for (const dataset::Trace& trace : snapshot.traces) {
+    ++out.stats.traces_total;
+    bool saw_tunnel = false;
+
+    const auto& hops = trace.hops;
+    for (const auto& hop : hops) {
+      if (!hop.anonymous()) all_addrs.insert(hop.addr);
+    }
+
+    std::size_t i = 0;
+    while (i < hops.size()) {
+      if (!hops[i].has_labels()) {
+        ++i;
+        continue;
+      }
+      // Maximal labeled run [first, last]. Anonymous hops break the run but
+      // make the LSP incomplete (an LSR failed to reply).
+      const std::size_t first = i;
+      std::size_t last = i;
+      bool run_has_anonymous = false;
+      while (last + 1 < hops.size()) {
+        if (hops[last + 1].has_labels()) {
+          ++last;
+        } else if (hops[last + 1].anonymous() && last + 2 < hops.size() &&
+                   hops[last + 2].has_labels()) {
+          // '*' wedged between labeled hops: the run continues but is
+          // incomplete in the traceroute sense.
+          run_has_anonymous = true;
+          last += 2;
+        } else {
+          break;
+        }
+      }
+      i = last + 1;
+
+      saw_tunnel = true;
+      ++out.stats.lsps_observed;
+      for (std::size_t k = first; k <= last; ++k) {
+        if (!hops[k].anonymous()) mpls_addrs.insert(hops[k].addr);
+      }
+
+      // Completeness: need both endpoint hops, responding, and no '*' inside.
+      const bool has_ingress = first > 0 && !hops[first - 1].anonymous();
+      const bool has_exit = last + 1 < hops.size() &&
+                            !hops[last + 1].anonymous();
+      if (run_has_anonymous || !has_ingress || !has_exit) {
+        ++out.stats.lsps_incomplete;
+        continue;
+      }
+
+      const std::uint32_t asn = run_asn(hops, first, last);
+      LspObservation obs;
+      obs.dst_asn = trace.dst_asn != 0 ? trace.dst_asn
+                                       : ip2as.lookup(trace.dst);
+      obs.monitor_id = trace.monitor_id;
+      obs.lsp.ingress = hops[first - 1].addr;
+      // Mark multi-AS runs with asn=0 so the IntraAS filter rejects them.
+      obs.lsp.asn = run_is_intra_as(hops, first, last, asn) ? asn : 0;
+
+      // Exit point: the hop after the run when it still belongs to the
+      // tunnel's AS (PHP), else the last labeled hop (non-PHP egress).
+      const dataset::TraceHop& after = hops[last + 1];
+      if (after.asn == obs.lsp.asn && obs.lsp.asn != 0) {
+        obs.lsp.egress = after.addr;
+        obs.lsp.egress_labeled = false;
+      } else {
+        obs.lsp.egress = hops[last].addr;
+        obs.lsp.egress_labeled = true;
+      }
+
+      obs.lsp.lsrs.reserve(last - first + 1);
+      for (std::size_t k = first; k <= last; ++k) {
+        if (hops[k].anonymous()) continue;
+        LsrHop lsr;
+        lsr.addr = hops[k].addr;
+        lsr.labels = hops[k].labels.labels();
+        obs.lsp.lsrs.push_back(std::move(lsr));
+      }
+      out.observations.push_back(std::move(obs));
+    }
+
+    if (saw_tunnel) ++out.stats.traces_with_explicit_tunnel;
+  }
+
+  out.stats.mpls_ips = mpls_addrs.size();
+  std::uint64_t non_mpls = 0;
+  for (const auto& addr : all_addrs) {
+    if (!mpls_addrs.contains(addr)) ++non_mpls;
+  }
+  out.stats.non_mpls_ips = non_mpls;
+  return out;
+}
+
+std::unordered_map<std::uint32_t, AsIpCensus> census_by_as(
+    const dataset::Snapshot& snapshot) {
+  std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Addr>> mpls;
+  std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Addr>> plain;
+  for (const dataset::Trace& trace : snapshot.traces) {
+    for (const auto& hop : trace.hops) {
+      if (hop.anonymous() || hop.asn == dataset::kUnknownAsn) continue;
+      if (hop.has_labels()) {
+        mpls[hop.asn].insert(hop.addr);
+      } else {
+        plain[hop.asn].insert(hop.addr);
+      }
+    }
+  }
+  std::unordered_map<std::uint32_t, AsIpCensus> out;
+  for (const auto& [asn, addrs] : mpls) out[asn].mpls_ips = addrs.size();
+  for (const auto& [asn, addrs] : plain) {
+    auto& census = out[asn];
+    // Count an address as non-MPLS only if it never appeared labeled.
+    const auto it = mpls.find(asn);
+    for (const auto& addr : addrs) {
+      if (it == mpls.end() || !it->second.contains(addr)) {
+        ++census.non_mpls_ips;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mum::lpr

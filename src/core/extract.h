@@ -1,0 +1,63 @@
+// Explicit-tunnel extraction (the "Filtering and formatting" front half of
+// Fig. 3, up to and including the Incomplete-LSP rejection).
+//
+// An explicit tunnel is a maximal run of hops whose ICMP replies quote an
+// RFC 4950 label stack. For each run we derive one LSP:
+//
+//   * Ingress LER  = the hop immediately before the run (the router that
+//     pushed the stack replies before labels appear).
+//   * Egress LER   = the hop immediately after the run when it maps to the
+//     same AS (PHP popped the stack one hop early — the usual case), else the
+//     last labeled hop itself (no PHP: the egress quotes its own label, and
+//     the next hop already belongs to the neighbouring AS).
+//
+// A run is *incomplete* — and dropped, counted — when the run or either
+// endpoint hop is anonymous, or when the run touches the ends of the trace.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model.h"
+#include "dataset/ip2as.h"
+#include "dataset/trace.h"
+
+namespace mum::lpr {
+
+struct ExtractStats {
+  std::uint64_t traces_total = 0;
+  std::uint64_t traces_with_explicit_tunnel = 0;
+  std::uint64_t lsps_observed = 0;    // complete + incomplete
+  std::uint64_t lsps_incomplete = 0;  // dropped by the Incomplete filter
+  // Unique responding addresses, split by MPLS involvement (Fig. 5(b)):
+  // an address is "MPLS" when it ever appears inside a labeled run.
+  std::uint64_t mpls_ips = 0;
+  std::uint64_t non_mpls_ips = 0;
+};
+
+struct ExtractedSnapshot {
+  std::uint32_t cycle_id = 0;
+  std::uint32_t sub_index = 0;
+  std::string date;
+  std::vector<LspObservation> observations;
+  ExtractStats stats;
+};
+
+// Extract all complete explicit LSPs from an annotated snapshot. Traces must
+// have been annotated with Ip2As first (hop ASNs are consumed here); the
+// `ip2as` reference is used for endpoint resolution of unmapped hops.
+ExtractedSnapshot extract_lsps(const dataset::Snapshot& snapshot,
+                               const dataset::Ip2As& ip2as);
+
+// Per-AS unique-address census over one snapshot (Table 2 rows): for each
+// ASN, how many distinct responding addresses were seen inside labeled runs
+// (MPLS) vs outside (non-MPLS).
+struct AsIpCensus {
+  std::uint64_t mpls_ips = 0;
+  std::uint64_t non_mpls_ips = 0;
+};
+std::unordered_map<std::uint32_t, AsIpCensus> census_by_as(
+    const dataset::Snapshot& snapshot);
+
+}  // namespace mum::lpr

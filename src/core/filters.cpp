@@ -1,0 +1,123 @@
+#include "core/filters.h"
+
+#include <algorithm>
+
+namespace mum::lpr {
+
+std::unordered_set<std::uint64_t> lsp_content_set(
+    const ExtractedSnapshot& snapshot) {
+  std::unordered_set<std::uint64_t> out;
+  out.reserve(snapshot.observations.size());
+  for (const LspObservation& obs : snapshot.observations) {
+    out.insert(obs.lsp.content_hash());
+  }
+  return out;
+}
+
+FilteredCycle apply_filters(const ExtractedSnapshot& cycle,
+                            const std::vector<ExtractedSnapshot>& following,
+                            const FilterConfig& config) {
+  FilteredCycle out;
+  out.cycle_id = cycle.cycle_id;
+  out.date = cycle.date;
+  out.stats.observed = cycle.stats.lsps_observed;
+  out.stats.complete = cycle.observations.size();
+
+  // --- IntraAS: extraction marked multi-AS runs with asn == 0. -----------
+  std::vector<LspObservation> kept;
+  kept.reserve(cycle.observations.size());
+  for (const LspObservation& obs : cycle.observations) {
+    if (config.enable_intra_as && obs.lsp.asn == 0) continue;
+    kept.push_back(obs);
+  }
+  out.stats.after_intra_as = kept.size();
+
+  // --- TargetAS: destination must sit outside the tunnel's AS. -----------
+  if (config.enable_target_as) {
+    std::erase_if(kept, [](const LspObservation& obs) {
+      return obs.dst_asn == obs.lsp.asn;
+    });
+  }
+  out.stats.after_target_as = kept.size();
+
+  // --- TransitDiversity: IOTP must serve >= 2 destination ASes. ----------
+  if (config.enable_transit_diversity) {
+    std::unordered_map<IotpKey, std::set<std::uint32_t>, IotpKeyHash>
+        dst_sets;
+    for (const LspObservation& obs : kept) {
+      dst_sets[{obs.lsp.asn, obs.lsp.ingress, obs.lsp.egress}].insert(
+          obs.dst_asn);
+    }
+    std::erase_if(kept, [&](const LspObservation& obs) {
+      return dst_sets
+                 .at({obs.lsp.asn, obs.lsp.ingress, obs.lsp.egress})
+                 .size() < 2;
+    });
+  }
+  out.stats.after_transit_diversity = kept.size();
+
+  // --- Persistence: reappear within the next j snapshots of the month. ---
+  if (config.enable_persistence) {
+    std::unordered_set<std::uint64_t> persistent;
+    const int j = std::min<int>(config.persistence_j,
+                                static_cast<int>(following.size()));
+    for (int s = 0; s < j; ++s) {
+      const auto set = lsp_content_set(following[static_cast<std::size_t>(s)]);
+      persistent.insert(set.begin(), set.end());
+    }
+
+    // Count per-AS attrition to detect dynamic ASes before erasing.
+    std::unordered_map<std::uint32_t, std::uint64_t> total_per_as;
+    std::unordered_map<std::uint32_t, std::uint64_t> kept_per_as;
+    for (const LspObservation& obs : kept) {
+      ++total_per_as[obs.lsp.asn];
+      if (persistent.contains(obs.lsp.content_hash())) {
+        ++kept_per_as[obs.lsp.asn];
+      }
+    }
+    for (const auto& [asn, total] : total_per_as) {
+      const std::uint64_t still = kept_per_as[asn];
+      const double surviving =
+          static_cast<double>(still) / static_cast<double>(total);
+      // Reinjection applies when the filter deletes (essentially) the whole
+      // set: churn that fast is label dynamics, not routing noise.
+      if (surviving <= 1.0 - config.dynamic_threshold) {
+        out.dynamic_asns.insert(asn);
+      }
+    }
+    std::erase_if(kept, [&](const LspObservation& obs) {
+      if (out.dynamic_asns.contains(obs.lsp.asn)) return false;  // reinjected
+      return !persistent.contains(obs.lsp.content_hash());
+    });
+  }
+  out.stats.after_persistence = kept.size();
+
+  out.observations = std::move(kept);
+  return out;
+}
+
+std::vector<IotpRecord> group_iotps(
+    const std::vector<LspObservation>& observations) {
+  std::unordered_map<IotpKey, IotpRecord, IotpKeyHash> groups;
+  for (const LspObservation& obs : observations) {
+    const IotpKey key{obs.lsp.asn, obs.lsp.ingress, obs.lsp.egress};
+    IotpRecord& rec = groups[key];
+    rec.key = key;
+    rec.dst_asns.insert(obs.dst_asn);
+    if (std::find(rec.variants.begin(), rec.variants.end(), obs.lsp) ==
+        rec.variants.end()) {
+      rec.variants.push_back(obs.lsp);
+    }
+  }
+  std::vector<IotpRecord> out;
+  out.reserve(groups.size());
+  for (auto& [key, rec] : groups) out.push_back(std::move(rec));
+  // Deterministic order for reproducible reports.
+  std::sort(out.begin(), out.end(), [](const IotpRecord& a,
+                                       const IotpRecord& b) {
+    return a.key < b.key;
+  });
+  return out;
+}
+
+}  // namespace mum::lpr

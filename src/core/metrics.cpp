@@ -1,0 +1,56 @@
+#include "core/metrics.h"
+
+namespace mum::lpr {
+
+util::Histogram length_distribution(const std::vector<IotpRecord>& records) {
+  util::Histogram h;
+  for (const IotpRecord& rec : records) h.add(rec.length);
+  return h;
+}
+
+util::Histogram width_distribution(const std::vector<IotpRecord>& records) {
+  util::Histogram h;
+  for (const IotpRecord& rec : records) h.add(rec.width);
+  return h;
+}
+
+util::Histogram width_distribution(const std::vector<IotpRecord>& records,
+                                   TunnelClass only) {
+  util::Histogram h;
+  for (const IotpRecord& rec : records) {
+    if (rec.tunnel_class == only) h.add(rec.width);
+  }
+  return h;
+}
+
+util::Histogram symmetry_distribution(
+    const std::vector<IotpRecord>& records) {
+  util::Histogram h;
+  for (const IotpRecord& rec : records) h.add(rec.symmetry);
+  return h;
+}
+
+util::Histogram symmetry_distribution(const std::vector<IotpRecord>& records,
+                                      TunnelClass only) {
+  util::Histogram h;
+  for (const IotpRecord& rec : records) {
+    if (rec.tunnel_class == only) h.add(rec.symmetry);
+  }
+  return h;
+}
+
+double balanced_share(const std::vector<IotpRecord>& records,
+                      TunnelClass only) {
+  std::uint64_t total = 0;
+  std::uint64_t balanced = 0;
+  for (const IotpRecord& rec : records) {
+    if (rec.tunnel_class != only) continue;
+    ++total;
+    if (rec.symmetry == 0) ++balanced;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(balanced) /
+                          static_cast<double>(total);
+}
+
+}  // namespace mum::lpr

@@ -1,0 +1,30 @@
+// IOTP-level metric distributions (paper Sec. 4.3): length, width, symmetry,
+// adapted from Augustin et al.'s load-balanced-path metrics.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "util/stats.h"
+
+namespace mum::lpr {
+
+// Length distribution (Fig. 7): intermediate LSRs of the longest branch.
+util::Histogram length_distribution(const std::vector<IotpRecord>& records);
+
+// Width distribution (Fig. 8(a)): number of branches; optionally restricted
+// to one class (Fig. 8(b)).
+util::Histogram width_distribution(const std::vector<IotpRecord>& records);
+util::Histogram width_distribution(const std::vector<IotpRecord>& records,
+                                   TunnelClass only);
+
+// Symmetry distribution (Fig. 9): longest minus shortest branch length.
+util::Histogram symmetry_distribution(const std::vector<IotpRecord>& records);
+util::Histogram symmetry_distribution(const std::vector<IotpRecord>& records,
+                                      TunnelClass only);
+
+// Share of balanced IOTPs (symmetry == 0) within one class.
+double balanced_share(const std::vector<IotpRecord>& records,
+                      TunnelClass only);
+
+}  // namespace mum::lpr

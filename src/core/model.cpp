@@ -1,0 +1,60 @@
+#include "core/model.h"
+
+#include "util/rng.h"
+
+namespace mum::lpr {
+
+std::uint64_t Lsp::content_hash() const {
+  std::uint64_t h = util::hash_combine(asn, ingress.value());
+  h = util::hash_combine(h, egress.value());
+  for (const LsrHop& hop : lsrs) {
+    h = util::hash_combine(h, hop.addr.value());
+    for (const std::uint32_t label : hop.labels) {
+      h = util::hash_combine(h, label);
+    }
+    h = util::hash_combine(h, 0xfeedULL);  // hop delimiter
+  }
+  return h;
+}
+
+std::string Lsp::to_string() const {
+  std::string out = "AS" + std::to_string(asn) + " " + ingress.to_string() +
+                    " -> [";
+  for (std::size_t i = 0; i < lsrs.size(); ++i) {
+    if (i) out += ", ";
+    out += lsrs[i].addr.to_string() + "(";
+    for (std::size_t j = 0; j < lsrs[i].labels.size(); ++j) {
+      if (j) out += "/";
+      out += std::to_string(lsrs[i].labels[j]);
+    }
+    out += ")";
+  }
+  out += "] -> " + egress.to_string();
+  return out;
+}
+
+std::size_t IotpKeyHash::operator()(const IotpKey& k) const noexcept {
+  return static_cast<std::size_t>(util::hash_combine(
+      util::hash_combine(k.asn, k.ingress.value()), k.egress.value()));
+}
+
+const char* to_cstring(TunnelClass c) noexcept {
+  switch (c) {
+    case TunnelClass::kMonoLsp: return "Mono-LSP";
+    case TunnelClass::kMultiFec: return "Multi-FEC";
+    case TunnelClass::kMonoFec: return "Mono-FEC";
+    case TunnelClass::kUnclassified: return "Unclassified";
+  }
+  return "?";
+}
+
+const char* to_cstring(MonoFecKind k) noexcept {
+  switch (k) {
+    case MonoFecKind::kNotApplicable: return "n/a";
+    case MonoFecKind::kParallelLinks: return "Parallel Links";
+    case MonoFecKind::kRoutersDisjoint: return "Routers Disjoint";
+  }
+  return "?";
+}
+
+}  // namespace mum::lpr

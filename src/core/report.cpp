@@ -1,0 +1,61 @@
+#include "core/report.h"
+
+namespace mum::lpr {
+
+ClassCounts CycleReport::as_counts(std::uint32_t asn) const {
+  const auto it = per_as.find(asn);
+  return it == per_as.end() ? ClassCounts{} : it->second;
+}
+
+CycleReport run_pipeline(const ExtractedSnapshot& cycle,
+                         const std::vector<ExtractedSnapshot>& following,
+                         const PipelineConfig& config) {
+  CycleReport report;
+  report.cycle_id = cycle.cycle_id;
+  report.date = cycle.date;
+  report.extract_stats = cycle.stats;
+
+  FilteredCycle filtered = apply_filters(cycle, following, config.filter);
+  report.filter_stats = filtered.stats;
+
+  report.iotps = group_iotps(filtered.observations);
+  report.global = classify_all(report.iotps, config.classify);
+
+  for (const IotpRecord& rec : report.iotps) {
+    report.per_as[rec.key.asn].add(rec);
+  }
+  for (const std::uint32_t asn : filtered.dynamic_asns) {
+    report.dynamic_as[asn] = true;
+  }
+  return report;
+}
+
+CycleReport run_pipeline(const dataset::MonthData& month,
+                         const dataset::Ip2As& ip2as,
+                         const PipelineConfig& config) {
+  // Extract the cycle snapshot and every following snapshot of the month.
+  const ExtractedSnapshot cycle = extract_lsps(month.cycle(), ip2as);
+  std::vector<ExtractedSnapshot> following;
+  following.reserve(month.snapshots.size() - 1);
+  for (std::size_t i = 1; i < month.snapshots.size(); ++i) {
+    following.push_back(extract_lsps(month.snapshots[i], ip2as));
+  }
+  return run_pipeline(cycle, following, config);
+}
+
+std::vector<LongitudinalReport::AsSeriesPoint>
+LongitudinalReport::as_series(std::uint32_t asn) const {
+  std::vector<AsSeriesPoint> out;
+  out.reserve(cycles.size());
+  for (const CycleReport& report : cycles) {
+    AsSeriesPoint point;
+    point.cycle_id = report.cycle_id;
+    point.counts = report.as_counts(asn);
+    const auto it = report.dynamic_as.find(asn);
+    point.dynamic_tag = it != report.dynamic_as.end() && it->second;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace mum::lpr

@@ -1,0 +1,64 @@
+// Report layer: the end-to-end LPR pipeline (extract -> filter -> group ->
+// classify) applied per cycle, with per-AS breakdowns and longitudinal
+// aggregation — the data behind Figs. 6, 10-16 and Tables 1-2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/extract.h"
+#include "core/filters.h"
+#include "dataset/ip2as.h"
+#include "dataset/trace.h"
+
+namespace mum::lpr {
+
+// Classification of one cycle, with per-AS detail.
+struct CycleReport {
+  std::uint32_t cycle_id = 0;
+  std::string date;
+  ExtractStats extract_stats;
+  FilterStats filter_stats;
+  ClassCounts global;
+  std::map<std::uint32_t, ClassCounts> per_as;   // keyed by ASN
+  std::map<std::uint32_t, bool> dynamic_as;      // Persistence reinjection tag
+  std::vector<IotpRecord> iotps;                 // classified records
+
+  // Convenience: counts for one AS (zeroes when absent).
+  ClassCounts as_counts(std::uint32_t asn) const;
+};
+
+struct PipelineConfig {
+  FilterConfig filter;
+  ClassifyConfig classify;
+};
+
+// Run the full LPR pipeline on one month of data (cycle snapshot + the
+// following snapshots used by Persistence).
+CycleReport run_pipeline(const dataset::MonthData& month,
+                         const dataset::Ip2As& ip2as,
+                         const PipelineConfig& config = {});
+
+// Same, starting from already-extracted snapshots (lets callers extract once
+// and sweep filter configurations, as the Fig. 6 bench does).
+CycleReport run_pipeline(const ExtractedSnapshot& cycle,
+                         const std::vector<ExtractedSnapshot>& following,
+                         const PipelineConfig& config = {});
+
+// Longitudinal container: one report per cycle.
+struct LongitudinalReport {
+  std::vector<CycleReport> cycles;
+
+  // PDF of a class for one AS across cycles (the upper panes of Figs 10-15).
+  struct AsSeriesPoint {
+    std::uint32_t cycle_id = 0;
+    ClassCounts counts;
+    bool dynamic_tag = false;
+  };
+  std::vector<AsSeriesPoint> as_series(std::uint32_t asn) const;
+};
+
+}  // namespace mum::lpr

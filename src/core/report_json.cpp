@@ -1,0 +1,111 @@
+#include "core/report_json.h"
+
+#include "util/json.h"
+
+namespace mum::lpr {
+
+namespace {
+
+void write_counts(util::JsonWriter& json, const ClassCounts& counts) {
+  json.begin_object();
+  json.field("total", counts.total());
+  json.field("mono_lsp", counts.mono_lsp);
+  json.field("multi_fec", counts.multi_fec);
+  json.field("mono_fec", counts.mono_fec);
+  json.field("parallel_links", counts.parallel_links);
+  json.field("routers_disjoint", counts.routers_disjoint);
+  json.field("unclassified", counts.unclassified);
+  json.end_object();
+}
+
+void write_per_as(util::JsonWriter& json, const CycleReport& report) {
+  json.begin_array();
+  for (const auto& [asn, counts] : report.per_as) {
+    json.begin_object();
+    json.field("asn", asn);
+    const auto dyn = report.dynamic_as.find(asn);
+    json.field("dynamic", dyn != report.dynamic_as.end() && dyn->second);
+    json.key("classes");
+    write_counts(json, counts);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+std::string to_json(const CycleReport& report, bool include_iotps) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("cycle", report.cycle_id + 1);  // 1-based, as the paper counts
+  json.field("date", report.date);
+
+  json.key("extract");
+  json.begin_object();
+  json.field("traces", report.extract_stats.traces_total);
+  json.field("traces_with_tunnel",
+             report.extract_stats.traces_with_explicit_tunnel);
+  json.field("mpls_ips", report.extract_stats.mpls_ips);
+  json.field("non_mpls_ips", report.extract_stats.non_mpls_ips);
+  json.end_object();
+
+  json.key("filters");
+  json.begin_object();
+  const auto& f = report.filter_stats;
+  json.field("observed", f.observed);
+  json.field("complete", f.complete);
+  json.field("after_intra_as", f.after_intra_as);
+  json.field("after_target_as", f.after_target_as);
+  json.field("after_transit_diversity", f.after_transit_diversity);
+  json.field("after_persistence", f.after_persistence);
+  json.end_object();
+
+  json.key("global");
+  write_counts(json, report.global);
+  json.key("per_as");
+  write_per_as(json, report);
+
+  if (include_iotps) {
+    json.key("iotps");
+    json.begin_array();
+    for (const IotpRecord& rec : report.iotps) {
+      json.begin_object();
+      json.field("asn", rec.key.asn);
+      json.field("ingress", rec.key.ingress.to_string());
+      json.field("egress", rec.key.egress.to_string());
+      json.field("class", to_cstring(rec.tunnel_class));
+      if (rec.mono_fec_kind != MonoFecKind::kNotApplicable) {
+        json.field("mono_fec_kind", to_cstring(rec.mono_fec_kind));
+      }
+      json.field("length", rec.length);
+      json.field("width", rec.width);
+      json.field("symmetry", rec.symmetry);
+      json.field("dst_asns", static_cast<std::uint64_t>(
+                                 rec.dst_asns.size()));
+      json.end_object();
+    }
+    json.end_array();
+  }
+
+  json.end_object();
+  return json.str();
+}
+
+std::string to_json(const LongitudinalReport& report) {
+  util::JsonWriter json;
+  json.begin_array();
+  for (const CycleReport& cycle : report.cycles) {
+    json.begin_object();
+    json.field("cycle", cycle.cycle_id + 1);
+    json.field("date", cycle.date);
+    json.key("global");
+    write_counts(json, cycle.global);
+    json.key("per_as");
+    write_per_as(json, cycle);
+    json.end_object();
+  }
+  json.end_array();
+  return json.str();
+}
+
+}  // namespace mum::lpr

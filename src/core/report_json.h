@@ -1,0 +1,19 @@
+// JSON export of LPR reports — the machine-readable counterpart of the
+// text tables, for external plotting of the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "core/report.h"
+
+namespace mum::lpr {
+
+// One cycle: extract/filter stats, global class counts, per-AS breakdown
+// and (optionally) the classified IOTP records with their metrics.
+std::string to_json(const CycleReport& report, bool include_iotps = false);
+
+// Longitudinal series: an array of per-cycle summaries (global + per-AS
+// class counts) — enough to redraw Figs. 10-15.
+std::string to_json(const LongitudinalReport& report);
+
+}  // namespace mum::lpr

@@ -1,0 +1,99 @@
+#include "core/tree.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace mum::lpr {
+
+const char* to_cstring(TreeClass c) noexcept {
+  switch (c) {
+    case TreeClass::kSingleBranch: return "Single-Branch";
+    case TreeClass::kLdpConsistent: return "LDP-Consistent";
+    case TreeClass::kMultiFec: return "Multi-FEC";
+  }
+  return "?";
+}
+
+namespace {
+
+void classify_tree(EgressTree& tree) {
+  if (tree.branches.size() <= 1) {
+    tree.tree_class = TreeClass::kSingleBranch;
+    tree.max_labels_per_router =
+        tree.branches.empty() || tree.branches[0].lsrs.empty() ? 0 : 1;
+    tree.max_in_degree = tree.branches.empty() ? 0 : 1;
+    return;
+  }
+
+  // Labels per router address across all branches, and the upstream
+  // addresses feeding each address (DAG in-degree). The hop before the
+  // first LSR is the ingress (tunnel entry).
+  std::map<net::Ipv4Addr, std::set<std::uint32_t>> labels_at;
+  std::map<net::Ipv4Addr, std::set<net::Ipv4Addr>> feeders;
+  for (const Lsp& lsp : tree.branches) {
+    net::Ipv4Addr upstream = lsp.ingress;
+    for (const LsrHop& hop : lsp.lsrs) {
+      if (!hop.labels.empty()) {
+        labels_at[hop.addr].insert(hop.labels.front());
+      }
+      feeders[hop.addr].insert(upstream);
+      upstream = hop.addr;
+    }
+    feeders[lsp.egress].insert(upstream);
+  }
+
+  int max_labels = 0;
+  for (const auto& [addr, labels] : labels_at) {
+    max_labels = std::max(max_labels, static_cast<int>(labels.size()));
+  }
+  int max_in = 0;
+  for (const auto& [addr, up] : feeders) {
+    max_in = std::max(max_in, static_cast<int>(up.size()));
+  }
+  tree.max_labels_per_router = max_labels;
+  tree.max_in_degree = max_in;
+  tree.tree_class = max_labels > 1 ? TreeClass::kMultiFec
+                                   : TreeClass::kLdpConsistent;
+}
+
+}  // namespace
+
+std::vector<EgressTree> build_egress_trees(
+    const std::vector<LspObservation>& observations) {
+  std::map<TreeKey, EgressTree> trees;
+  for (const LspObservation& obs : observations) {
+    const TreeKey key{obs.lsp.asn, obs.lsp.egress};
+    EgressTree& tree = trees[key];
+    tree.key = key;
+    tree.ingresses.insert(obs.lsp.ingress);
+    tree.dst_asns.insert(obs.dst_asn);
+    if (std::find(tree.branches.begin(), tree.branches.end(), obs.lsp) ==
+        tree.branches.end()) {
+      tree.branches.push_back(obs.lsp);
+    }
+  }
+  std::vector<EgressTree> out;
+  out.reserve(trees.size());
+  for (auto& [key, tree] : trees) {
+    classify_tree(tree);
+    out.push_back(std::move(tree));
+  }
+  return out;
+}
+
+TreeStats summarize(const std::vector<EgressTree>& trees) {
+  TreeStats stats;
+  stats.trees = trees.size();
+  for (const EgressTree& tree : trees) {
+    stats.branches_total += tree.branches.size();
+    switch (tree.tree_class) {
+      case TreeClass::kSingleBranch: ++stats.single_branch; break;
+      case TreeClass::kLdpConsistent: ++stats.ldp_consistent; break;
+      case TreeClass::kMultiFec: ++stats.multi_fec; break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mum::lpr

@@ -1,0 +1,53 @@
+#include "dataset/ip2as.h"
+
+#include "util/strings.h"
+
+namespace mum::dataset {
+
+void Ip2As::add_prefix(const net::Ipv4Prefix& prefix, std::uint32_t asn) {
+  trie_.insert(prefix, asn);
+}
+
+std::uint32_t Ip2As::lookup(net::Ipv4Addr addr) const {
+  const auto hit = trie_.lookup(addr);
+  return hit.value_or(kUnknownAsn);
+}
+
+void Ip2As::annotate(Trace& trace) const {
+  trace.dst_asn = lookup(trace.dst);
+  for (auto& hop : trace.hops) {
+    hop.asn = hop.anonymous() ? kUnknownAsn : lookup(hop.addr);
+  }
+}
+
+void Ip2As::annotate(std::vector<Trace>& traces) const {
+  for (auto& t : traces) annotate(t);
+}
+
+std::string to_table_text(const Ip2As& table) {
+  std::string out;
+  for (const auto& [prefix, asn] : table.entries()) {
+    out += prefix.to_string();
+    out += ' ';
+    out += std::to_string(asn);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<Ip2As> ip2as_from_text(std::string_view text) {
+  Ip2As table;
+  for (const auto raw_line : util::split(text, '\n')) {
+    const auto line = util::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto space = line.find_first_of(" \t");
+    if (space == std::string_view::npos) return std::nullopt;
+    const auto prefix = net::Ipv4Prefix::parse(util::trim(line.substr(0, space)));
+    const auto asn = util::parse_u64(util::trim(line.substr(space + 1)));
+    if (!prefix || !asn || *asn > 0xFFFFFFFFull) return std::nullopt;
+    table.add_prefix(*prefix, static_cast<std::uint32_t>(*asn));
+  }
+  return table;
+}
+
+}  // namespace mum::dataset

@@ -1,0 +1,46 @@
+// IP-to-AS mapping service (the Routeviews role in the paper's pipeline).
+//
+// The generator emits the prefix->origin-AS table; this service wraps it in a
+// longest-prefix-match trie and annotates traces with per-hop and
+// per-destination AS numbers before LPR runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dataset/trace.h"
+#include "net/ipv4.h"
+#include "net/radix_trie.h"
+
+namespace mum::dataset {
+
+inline constexpr std::uint32_t kUnknownAsn = 0;
+
+class Ip2As {
+ public:
+  void add_prefix(const net::Ipv4Prefix& prefix, std::uint32_t asn);
+
+  // Longest-prefix-match origin lookup; kUnknownAsn when uncovered.
+  std::uint32_t lookup(net::Ipv4Addr addr) const;
+
+  // Fill TraceHop::asn and Trace::dst_asn in place.
+  void annotate(Trace& trace) const;
+  void annotate(std::vector<Trace>& traces) const;
+
+  std::size_t prefix_count() const noexcept { return trie_.size(); }
+  std::vector<std::pair<net::Ipv4Prefix, std::uint32_t>> entries() const {
+    return trie_.entries();
+  }
+
+ private:
+  net::RadixTrie<std::uint32_t> trie_;
+};
+
+// Text form of the table: one "<prefix> <asn>" per line ('#' comments and
+// blank lines allowed), the conventional pfx2as layout.
+std::string to_table_text(const Ip2As& table);
+// Parse a table; nullopt on the first malformed line.
+std::optional<Ip2As> ip2as_from_text(std::string_view text);
+
+}  // namespace mum::dataset

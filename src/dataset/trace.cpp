@@ -1,0 +1,12 @@
+#include "dataset/trace.h"
+
+namespace mum::dataset {
+
+bool Trace::crosses_explicit_tunnel() const noexcept {
+  for (const auto& hop : hops) {
+    if (hop.has_labels()) return true;
+  }
+  return false;
+}
+
+}  // namespace mum::dataset

@@ -1,0 +1,62 @@
+// Traceroute dataset model: hops, traces, snapshots (one probing run of the
+// whole monitor fleet) and cycles (the paper's unit: "the first run of each
+// team" in a month). This mirrors what CAIDA Archipelago delivers after
+// warts decoding — which is exactly the input LPR consumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/lse.h"
+
+namespace mum::dataset {
+
+struct TraceHop {
+  // Responding interface; kAnonymousAddr when the hop timed out ('*').
+  net::Ipv4Addr addr;
+  double rtt_ms = 0.0;
+  // Quoted label stack from the RFC 4950 extension, if any.
+  net::LabelStack labels;
+  // AS the address maps to (filled by Ip2As::annotate); 0 = unmapped.
+  std::uint32_t asn = 0;
+
+  bool anonymous() const noexcept { return addr == net::kAnonymousAddr; }
+  bool has_labels() const noexcept { return !labels.empty(); }
+};
+
+struct Trace {
+  std::uint32_t monitor_id = 0;
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  std::uint32_t dst_asn = 0;  // filled by Ip2As::annotate
+  bool reached = false;       // destination answered
+  std::vector<TraceHop> hops;
+
+  // True when any hop carries a quoted label stack (explicit tunnel signal).
+  bool crosses_explicit_tunnel() const noexcept;
+};
+
+// One probing run of the whole fleet ("team run" / daily snapshot).
+struct Snapshot {
+  std::uint32_t cycle_id = 0;  // global cycle index (0-based)
+  std::uint32_t sub_index = 0; // snapshot index within the month (0 = cycle)
+  std::string date;            // "YYYY-MM" or "YYYY-MM-DD"
+  std::vector<Trace> traces;
+
+  std::size_t trace_count() const noexcept { return traces.size(); }
+};
+
+// A month of data: the cycle snapshot (index 0) plus the additional
+// snapshots used by the Persistence filter (X+1 ... X+j).
+struct MonthData {
+  std::uint32_t cycle_id = 0;
+  std::string date;
+  std::vector<Snapshot> snapshots;
+
+  const Snapshot& cycle() const { return snapshots.front(); }
+};
+
+}  // namespace mum::dataset

@@ -1,0 +1,202 @@
+#include "dataset/warts_lite.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace mum::dataset {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'U', 'M', 'W'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::optional<std::uint8_t> get_u8(const std::string& in, std::size_t& pos) {
+  if (pos >= in.size()) return std::nullopt;
+  return static_cast<std::uint8_t>(in[pos++]);
+}
+
+std::optional<std::uint32_t> get_u32(const std::string& in, std::size_t& pos) {
+  if (pos + 4 > in.size()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 4;
+  return v;
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.append(s);
+}
+
+std::optional<std::string> get_string(const std::string& in,
+                                      std::size_t& pos) {
+  const auto len = get_varint(in, pos);
+  if (!len || pos + *len > in.size()) return std::nullopt;
+  std::string s = in.substr(pos, *len);
+  pos += *len;
+  return s;
+}
+
+}  // namespace
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::optional<std::uint64_t> get_varint(const std::string& in,
+                                        std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (pos < in.size()) {
+    const auto byte = static_cast<unsigned char>(in[pos++]);
+    if (shift >= 64 || (shift == 63 && (byte & 0x7e))) return std::nullopt;
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::string serialize_snapshot(const Snapshot& snapshot) {
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  put_u8(out, kVersion);
+  put_varint(out, snapshot.cycle_id);
+  put_varint(out, snapshot.sub_index);
+  put_string(out, snapshot.date);
+  put_varint(out, snapshot.traces.size());
+  for (const Trace& t : snapshot.traces) {
+    put_varint(out, t.monitor_id);
+    put_u32(out, t.src.value());
+    put_u32(out, t.dst.value());
+    put_u8(out, t.reached ? 1 : 0);
+    put_varint(out, t.hops.size());
+    for (const TraceHop& h : t.hops) {
+      put_u32(out, h.addr.value());
+      put_u32(out, static_cast<std::uint32_t>(std::lround(h.rtt_ms * 1000.0)));
+      put_varint(out, h.labels.depth());
+      for (const auto& lse : h.labels.entries()) put_u32(out, lse.encode());
+    }
+  }
+  return out;
+}
+
+std::optional<Snapshot> parse_snapshot(const std::string& bytes) {
+  std::size_t pos = 0;
+  if (bytes.size() < sizeof kMagic + 1 ||
+      bytes.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    return std::nullopt;
+  }
+  pos = sizeof kMagic;
+  const auto version = get_u8(bytes, pos);
+  if (!version || *version != kVersion) return std::nullopt;
+
+  Snapshot snap;
+  const auto cycle_id = get_varint(bytes, pos);
+  const auto sub_index = get_varint(bytes, pos);
+  if (!cycle_id || !sub_index) return std::nullopt;
+  snap.cycle_id = static_cast<std::uint32_t>(*cycle_id);
+  snap.sub_index = static_cast<std::uint32_t>(*sub_index);
+  const auto date = get_string(bytes, pos);
+  if (!date) return std::nullopt;
+  snap.date = *date;
+
+  const auto n_traces = get_varint(bytes, pos);
+  if (!n_traces) return std::nullopt;
+  snap.traces.reserve(static_cast<std::size_t>(*n_traces));
+  for (std::uint64_t i = 0; i < *n_traces; ++i) {
+    Trace t;
+    const auto monitor = get_varint(bytes, pos);
+    const auto src = get_u32(bytes, pos);
+    const auto dst = get_u32(bytes, pos);
+    const auto reached = get_u8(bytes, pos);
+    const auto n_hops = get_varint(bytes, pos);
+    if (!monitor || !src || !dst || !reached || !n_hops) return std::nullopt;
+    t.monitor_id = static_cast<std::uint32_t>(*monitor);
+    t.src = net::Ipv4Addr(*src);
+    t.dst = net::Ipv4Addr(*dst);
+    t.reached = (*reached != 0);
+    t.hops.reserve(static_cast<std::size_t>(*n_hops));
+    for (std::uint64_t h = 0; h < *n_hops; ++h) {
+      TraceHop hop;
+      const auto addr = get_u32(bytes, pos);
+      const auto rtt = get_u32(bytes, pos);
+      const auto n_lse = get_varint(bytes, pos);
+      if (!addr || !rtt || !n_lse) return std::nullopt;
+      hop.addr = net::Ipv4Addr(*addr);
+      hop.rtt_ms = static_cast<double>(*rtt) / 1000.0;
+      std::vector<net::LabelStackEntry> entries;
+      entries.reserve(static_cast<std::size_t>(*n_lse));
+      for (std::uint64_t s = 0; s < *n_lse; ++s) {
+        const auto word = get_u32(bytes, pos);
+        if (!word) return std::nullopt;
+        entries.push_back(net::LabelStackEntry::decode(*word));
+      }
+      hop.labels = net::LabelStack(std::move(entries));
+      t.hops.push_back(std::move(hop));
+    }
+    snap.traces.push_back(std::move(t));
+  }
+  return snap;
+}
+
+void write_snapshot(std::ostream& os, const Snapshot& snapshot) {
+  const std::string bytes = serialize_snapshot(snapshot);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::optional<Snapshot> read_snapshot(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_snapshot(buffer.str());
+}
+
+std::string to_text(const Trace& trace) {
+  std::ostringstream os;
+  os << "trace monitor=" << trace.monitor_id << " src=" << trace.src
+     << " dst=" << trace.dst << " reached=" << (trace.reached ? 1 : 0)
+     << '\n';
+  int ttl = 1;
+  for (const TraceHop& hop : trace.hops) {
+    os << "  " << ttl++ << "  ";
+    if (hop.anonymous()) {
+      os << "*";
+    } else {
+      os << hop.addr << "  " << hop.rtt_ms << " ms";
+      if (hop.asn != 0) os << "  [AS" << hop.asn << "]";
+      if (hop.has_labels()) os << "  " << hop.labels;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string to_text(const Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "snapshot cycle=" << snapshot.cycle_id
+     << " sub=" << snapshot.sub_index << " date=" << snapshot.date
+     << " traces=" << snapshot.traces.size() << "\n\n";
+  for (const Trace& t : snapshot.traces) os << to_text(t) << '\n';
+  return os.str();
+}
+
+}  // namespace mum::dataset

@@ -1,0 +1,53 @@
+// "warts-lite": compact binary serialization for snapshots, plus a
+// human-readable text form.
+//
+// CAIDA ships Archipelago traceroutes in scamper's warts container; this is a
+// self-contained stand-in with the same role: persist campaigns to disk and
+// read them back for offline LPR runs. The binary layout is little-endian,
+// varint-compressed, and versioned:
+//
+//   file  := magic "MUMW" u8 version | snapshot
+//   snapshot := varint cycle_id | varint sub_index | string date
+//               varint n_traces | trace*
+//   trace := varint monitor | u32 src | u32 dst | u8 reached
+//            varint n_hops | hop*
+//   hop   := u32 addr | f32-as-u32 rtt_x1000 | varint n_lse | u32 lse*
+//
+// (AS annotations are not persisted; they are recomputed from the IP2AS
+// table on load, as the paper does with Routeviews snapshots.)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/trace.h"
+
+namespace mum::dataset {
+
+// --- binary -----------------------------------------------------------
+
+void write_snapshot(std::ostream& os, const Snapshot& snapshot);
+// Returns nullopt on malformed input (bad magic/version/truncation).
+std::optional<Snapshot> read_snapshot(std::istream& is);
+
+std::string serialize_snapshot(const Snapshot& snapshot);
+std::optional<Snapshot> parse_snapshot(const std::string& bytes);
+
+// --- text -------------------------------------------------------------
+
+// One line per hop, blank line between traces; lossless for the fields LPR
+// uses. Intended for eyeballing and for golden-file tests.
+std::string to_text(const Trace& trace);
+std::string to_text(const Snapshot& snapshot);
+
+// --- varint helpers (exposed for tests) --------------------------------
+
+void put_varint(std::string& out, std::uint64_t value);
+// Reads a varint at `pos`, advancing it; nullopt on truncation/overflow.
+std::optional<std::uint64_t> get_varint(const std::string& in,
+                                        std::size_t& pos);
+
+}  // namespace mum::dataset

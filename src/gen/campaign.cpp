@@ -1,0 +1,114 @@
+#include "gen/campaign.h"
+
+#include "probe/traceroute.h"
+
+namespace mum::gen {
+
+dataset::Snapshot generate_snapshot(const Internet& internet,
+                                    MonthContext& ctx,
+                                    const dataset::Ip2As& ip2as, int cycle,
+                                    int sub_index,
+                                    const CampaignConfig& config) {
+  dataset::Snapshot snap;
+  snap.cycle_id = static_cast<std::uint32_t>(cycle);
+  snap.sub_index = static_cast<std::uint32_t>(sub_index);
+  snap.date = cycle_date(cycle);
+
+  ctx.apply_flaps(sub_index, internet.config().ecmp_flap_prob);
+
+  const auto& monitors = internet.monitors();
+  const auto& dests = internet.destinations();
+  const std::size_t n_monitors = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(monitors.size()) * config.monitor_share));
+
+  // Observation noise stream: deterministic per (seed, cycle, sub_index).
+  util::Rng rng(util::hash_combine(
+      internet.config().seed,
+      util::hash_combine(0xABCDull + cycle, sub_index)));
+
+  const int per_monitor = internet.config().dests_per_monitor;
+  const int overlap = std::max(1, internet.config().dest_overlap);
+  // Ark-style split of the destination list across the fleet, with overlap:
+  // destination d is probed by the `overlap` monitors following d % N
+  // (stable across snapshots, so the Persistence filter compares like with
+  // like).
+  for (std::size_t mi = 0; mi < n_monitors; ++mi) {
+    const probe::Monitor& monitor = monitors[mi];
+    int probed = 0;
+    for (int o = 0; o < overlap && probed < per_monitor; ++o) {
+      const std::size_t lane =
+          (mi + monitors.size() - static_cast<std::size_t>(o)) %
+          monitors.size();
+      const int per_dest = std::max(1, internet.config().probes_per_dest);
+      for (std::size_t d = lane; d < dests.size() && probed < per_monitor;
+           d += monitors.size(), ++probed) {
+        for (int pp = 0; pp < per_dest; ++pp) {
+          // Additional probes land in the same /24 (same FEC) but hash to
+          // different Paris flows.
+          Destination dest = dests[d];
+          dest.addr = net::Ipv4Addr(dest.addr.value() +
+                                    static_cast<std::uint32_t>(pp) * 128);
+          const auto path = internet.path_spec(monitor, dest, ctx);
+          if (!path) continue;
+          snap.traces.push_back(
+              probe::trace_route(monitor, *path, config.trace, rng));
+        }
+      }
+    }
+  }
+
+  ip2as.annotate(snap.traces);
+  return snap;
+}
+
+dataset::MonthData generate_month(const Internet& internet,
+                                  const dataset::Ip2As& ip2as, int cycle,
+                                  const CampaignConfig& config) {
+  dataset::MonthData month;
+  month.cycle_id = static_cast<std::uint32_t>(cycle);
+  month.date = cycle_date(cycle);
+
+  MonthContext ctx = internet.instantiate(cycle);
+  util::Rng dyn_rng(util::hash_combine(internet.config().seed,
+                                       0xD1Aull + cycle));
+  for (int s = 0; s <= config.extra_snapshots; ++s) {
+    if (s > 0) ctx.advance_dynamics(dyn_rng);
+    month.snapshots.push_back(
+        generate_snapshot(internet, ctx, ip2as, cycle, s, config));
+  }
+  return month;
+}
+
+std::vector<dataset::Snapshot> generate_daily_month(
+    const Internet& internet, const dataset::Ip2As& ip2as, int cycle,
+    int days, const CampaignConfig& config) {
+  std::vector<dataset::Snapshot> out;
+  out.reserve(static_cast<std::size_t>(days));
+  util::Rng dyn_rng(util::hash_combine(internet.config().seed,
+                                       0xDA1ull + cycle));
+  for (int day = 1; day <= days; ++day) {
+    // Deployment ramps are day-resolved, so re-instantiate per day.
+    MonthContext ctx = internet.instantiate(cycle, day);
+    if (day > 1) ctx.advance_dynamics(dyn_rng);
+
+    CampaignConfig day_config = config;
+    // Fleet-size wobble (the paper notes "the number of considered
+    // Archipelago vantage points differs from one day to another").
+    const double wobble =
+        0.7 + 0.3 * (static_cast<double>(util::mix64(
+                         util::hash_combine(cycle, day)) %
+                     1000) /
+                     999.0);
+    day_config.monitor_share = config.monitor_share * wobble;
+
+    dataset::Snapshot snap = generate_snapshot(internet, ctx, ip2as, cycle,
+                                               day - 1, day_config);
+    snap.date = cycle_date(cycle) + (day < 10 ? "-0" : "-") +
+                std::to_string(day);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace mum::gen

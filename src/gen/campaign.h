@@ -1,0 +1,47 @@
+// Archipelago-style probing campaigns over the synthetic internet.
+//
+// A snapshot = one run of the monitor fleet (each monitor probes its share of
+// the destination list, Paris-traceroute style). A month = the cycle snapshot
+// plus `extra_snapshots` follow-up runs (consumed by the Persistence filter),
+// with routing flaps applied between runs and TE label dynamics advanced for
+// dynamic-label ASes. Daily generation (Fig. 16) exposes day-of-month so
+// profile ramps and fleet-size variation can play out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/trace.h"
+#include "gen/internet.h"
+
+namespace mum::gen {
+
+struct CampaignConfig {
+  int extra_snapshots = 2;  // snapshots X+1..X+j generated per month
+  probe::TraceOptions trace;
+  // Fraction of the monitor fleet active (varies day-to-day in Fig. 16).
+  double monitor_share = 1.0;
+};
+
+// One snapshot at (cycle, day). `ctx` must come from internet.instantiate();
+// flaps for `sub_index` are applied inside. Traces are ip2as-annotated.
+dataset::Snapshot generate_snapshot(const Internet& internet,
+                                    MonthContext& ctx,
+                                    const dataset::Ip2As& ip2as, int cycle,
+                                    int sub_index,
+                                    const CampaignConfig& config);
+
+// Full month: cycle snapshot + extra snapshots, advancing label dynamics
+// between runs.
+dataset::MonthData generate_month(const Internet& internet,
+                                  const dataset::Ip2As& ip2as, int cycle,
+                                  const CampaignConfig& config);
+
+// Daily data for one month (Fig. 16): `days` snapshots, profile evaluated at
+// each day, fleet size wobbling deterministically around the configured
+// share.
+std::vector<dataset::Snapshot> generate_daily_month(
+    const Internet& internet, const dataset::Ip2As& ip2as, int cycle,
+    int days, const CampaignConfig& config);
+
+}  // namespace mum::gen

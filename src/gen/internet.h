@@ -1,0 +1,172 @@
+// Synthetic internet: AS graph + router-level topologies for modelled
+// transit ASes + per-month MPLS control planes + monitor/destination fleet.
+//
+// The Internet object is built once per study (topologies and the AS graph
+// are time-invariant, as the paper observes for AS3356: "nothing has changed
+// [infrastructurally] between Cycle 28 and Cycle 29 ... only the usage ...
+// has been modified"). Per month, `instantiate()` materializes label pools,
+// LDP/RSVP planes and data-plane configs from each AS's profile snapshot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dataset/ip2as.h"
+#include "gen/as_graph.h"
+#include "gen/profiles.h"
+#include "igp/spf.h"
+#include "mpls/ldp.h"
+#include "mpls/rsvp.h"
+#include "probe/forwarder.h"
+#include "probe/traceroute.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace mum::gen {
+
+struct GenConfig {
+  std::uint64_t seed = 20151028;  // IMC'15 opening day
+  int background_tier1 = 3;
+  int background_transit = 30;
+  int stub_ases = 40;
+  int monitors = 14;
+  // /24 destinations probed by each monitor per snapshot.
+  int dests_per_monitor = 880;
+  // Each destination is probed by this many monitors (Ark teams overlap in
+  // coverage across cycles; >1 exposes each transit AS from several ingress
+  // directions, which is where IOTP diversity comes from).
+  int dest_overlap = 4;
+  // Addresses probed per destination /24. Additional addresses share the
+  // FEC (forwarding treats the /24 as one prefix) but carry different Paris
+  // flow identifiers — exactly what reveals ECMP branches inside one IOTP.
+  int probes_per_dest = 2;
+  // Per-snapshot probability that a router's ECMP salt flaps (routing noise
+  // removed by the Persistence filter).
+  double ecmp_flap_prob = 0.08;
+  // Probability that an AS undergoes maintenance in a given month; inside a
+  // maintenance month, each link fails with `link_fail_prob`, going down at
+  // a random snapshot and staying down. The IGP reconverges around the
+  // failure (per-snapshot SPF) and affected RSVP-TE LSPs are re-signalled —
+  // this is the "routing changes during the measurement" noise the
+  // Persistence filter exists to remove (paper Sec. 3.1).
+  double as_maintenance_prob = 1.0;
+  double link_fail_prob = 0.05;
+  // Probability that a destination never answers (probe still traces).
+  double dest_silent_prob = 0.08;
+  // Probability a router answers probes (anonymous-router share follows).
+  double router_response_prob = 0.96;
+  // Probability that a modelled AS has one mis-originated /23 in the IP2AS
+  // table (drives the small IntraAS filter hit, paper: ~0.9% of LSPs).
+  double ip2as_noise = 0.25;
+};
+
+struct Destination {
+  net::Ipv4Addr addr;
+  std::uint32_t asn = 0;
+};
+
+// One modelled (router-level) AS.
+struct ModeledAs {
+  AsShape shape;
+  topo::AsTopology topo;
+  igp::IgpState igp;
+  // Peering points with each neighbour AS: real networks interconnect at
+  // several locations, so a neighbour maps to up to kPeeringPoints borders,
+  // each with its own entry interface. Which one a given packet uses is a
+  // stable function of the destination prefix (BGP next-hop selection).
+  static constexpr int kPeeringPoints = 3;
+  std::map<std::uint32_t, std::vector<topo::RouterId>> borders_toward;
+  std::map<std::uint32_t, std::vector<net::Ipv4Addr>> entry_ifaces_from;
+
+  // Border router / entry iface serving `neighbor` for a destination whose
+  // /24 hashes to `dst_hash`.
+  topo::RouterId border_for(std::uint32_t neighbor,
+                            std::uint64_t dst_hash) const;
+  net::Ipv4Addr entry_iface_for(std::uint32_t neighbor,
+                                std::uint64_t dst_hash) const;
+
+  ModeledAs(AsShape s, topo::AsTopology t, igp::IgpState i)
+      : shape(std::move(s)), topo(std::move(t)), igp(std::move(i)) {}
+};
+
+// Per-month mutable control-plane state of one AS.
+struct AsPlanes {
+  std::vector<mpls::LabelPool> pools;
+  std::optional<mpls::LdpPlane> ldp;
+  std::unique_ptr<mpls::RsvpTePlane> rsvp;
+  // IGP state after this snapshot's link failures (unset => no failures,
+  // plane.igp points at the ModeledAs base state).
+  std::optional<igp::IgpState> igp_now;
+  probe::AsDataPlane plane;  // pointers reference ModeledAs + this struct
+};
+
+class Internet;
+
+// The control planes of every modelled AS for one month, plus snapshot-level
+// observation state (ECMP flaps, coverage ramp days).
+class MonthContext {
+ public:
+  // Re-signals TE LSPs of dynamic-label ASes (between snapshots).
+  void advance_dynamics(util::Rng& rng);
+  // Sets per-router ECMP salts for snapshot `sub_index` (0 = cycle run).
+  void apply_flaps(int sub_index, double flap_prob);
+
+  const probe::AsDataPlane* plane_of(std::uint32_t asn) const;
+
+ private:
+  friend class Internet;
+  int cycle_ = 0;
+  std::uint64_t month_seed_ = 0;
+  std::map<std::uint32_t, std::unique_ptr<AsPlanes>> planes_;
+  const Internet* internet_ = nullptr;
+};
+
+class Internet {
+ public:
+  explicit Internet(const GenConfig& config);
+
+  const GenConfig& config() const noexcept { return config_; }
+  const AsGraph& graph() const noexcept { return graph_; }
+  const std::vector<probe::Monitor>& monitors() const noexcept {
+    return monitors_;
+  }
+  const std::vector<Destination>& destinations() const noexcept {
+    return destinations_;
+  }
+  const ModeledAs* modeled(std::uint32_t asn) const;
+  std::vector<std::uint32_t> modeled_asns() const;
+
+  // Routeviews-equivalent table (with the configured mis-origination noise).
+  dataset::Ip2As build_ip2as() const;
+
+  // Materialize control planes for (cycle, day-of-month).
+  MonthContext instantiate(int cycle, int day_of_month = 1) const;
+
+  // Path from a monitor to a destination through `ctx`'s planes; nullopt
+  // when AS-level routing fails.
+  std::optional<probe::PathSpec> path_spec(const probe::Monitor& monitor,
+                                           const Destination& dest,
+                                           const MonthContext& ctx) const;
+
+  // AS hosting monitor `id`.
+  std::uint32_t monitor_asn(std::uint32_t monitor_id) const {
+    return monitor_asn_.at(monitor_id);
+  }
+
+ private:
+  void build_graph(util::Rng& rng);
+  void build_topologies(util::Rng& rng);
+  void place_monitors_and_destinations(util::Rng& rng);
+
+  GenConfig config_;
+  AsGraph graph_;
+  std::map<std::uint32_t, std::unique_ptr<ModeledAs>> modeled_;
+  std::vector<probe::Monitor> monitors_;
+  std::vector<std::uint32_t> monitor_asn_;  // by monitor id
+  std::vector<Destination> destinations_;
+};
+
+}  // namespace mum::gen

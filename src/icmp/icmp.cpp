@@ -1,0 +1,18 @@
+#include "icmp/icmp.h"
+
+namespace mum::icmp {
+
+std::string to_string(const IcmpReply& reply) {
+  std::string out;
+  switch (reply.type) {
+    case IcmpType::kEchoReply: out = "echo-reply"; break;
+    case IcmpType::kDestUnreachable: out = "dest-unreachable"; break;
+    case IcmpType::kTimeExceeded: out = "time-exceeded"; break;
+  }
+  out += " from " + reply.from.to_string();
+  out += " rtt=" + std::to_string(reply.rtt_ms) + "ms";
+  if (reply.mpls) out += " mpls " + reply.mpls->to_string();
+  return out;
+}
+
+}  // namespace mum::icmp

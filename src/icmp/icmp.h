@@ -1,0 +1,52 @@
+// ICMP reply modelling — just enough of RFC 792 / RFC 4884 / RFC 4950 for
+// traceroute-based MPLS observation.
+//
+// When an LSR drops a packet whose (LSE-)TTL expired, it emits an ICMP
+// time-exceeded. Routers implementing RFC 4950 append an extension object
+// quoting the MPLS label stack of the *received* packet. The quoted stack is
+// the only MPLS signal LPR ever sees.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/ipv4.h"
+#include "net/lse.h"
+
+namespace mum::icmp {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kTimeExceeded = 11,
+};
+
+// RFC 4950 MPLS Label Stack extension object (class 1, c-type 1).
+struct MplsExtension {
+  net::LabelStack stack;
+
+  std::string to_string() const { return stack.to_string(); }
+};
+
+struct IcmpReply {
+  IcmpType type = IcmpType::kTimeExceeded;
+  std::uint8_t code = 0;
+  // Source of the ICMP reply — in our model, the address of the interface
+  // the probe entered through (the standard traceroute assumption).
+  net::Ipv4Addr from;
+  double rtt_ms = 0.0;
+  // Present when the replying router implements RFC 4950 and the dropped
+  // packet carried a label stack.
+  std::optional<MplsExtension> mpls;
+
+  bool has_labels() const noexcept {
+    return mpls.has_value() && !mpls->stack.empty();
+  }
+};
+
+// Serialize a reply to a stable single-line string (for debugging and the
+// text dataset format).
+std::string to_string(const IcmpReply& reply);
+
+}  // namespace mum::icmp

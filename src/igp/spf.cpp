@@ -1,0 +1,115 @@
+#include "igp/spf.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace mum::igp {
+
+namespace {
+
+struct QueueItem {
+  std::uint32_t dist;
+  topo::RouterId router;
+  friend bool operator>(const QueueItem& a, const QueueItem& b) {
+    return a.dist > b.dist;
+  }
+};
+
+// Dijkstra from `src`, retaining every equal-cost predecessor edge.
+RouterRib spf_from(const topo::AsTopology& topo, topo::RouterId src,
+                   const std::vector<bool>* link_down) {
+  const std::size_t n = topo.router_count();
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  // predecessors[v] = links over which v is reached at the best distance.
+  std::vector<std::vector<topo::LinkId>> predecessors(n);
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  dist[src] = 0;
+  pq.push({0, src});
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const topo::LinkId lid : topo.links_of(u)) {
+      if (link_down != nullptr && (*link_down)[lid]) continue;
+      const topo::Link& l = topo.link(lid);
+      const topo::RouterId v = l.other(u);
+      const std::uint32_t nd = d + l.igp_cost;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        predecessors[v].clear();
+        predecessors[v].push_back(lid);
+        pq.push({nd, v});
+      } else if (nd == dist[v]) {
+        predecessors[v].push_back(lid);
+      }
+    }
+  }
+
+  // Derive ECMP next hops at `src` toward every destination: first hops of
+  // all shortest paths. Walk the predecessor DAG once per destination with
+  // memoization over "set of first-hop links from src able to reach node".
+  // Simpler and fast enough at our scales: for each destination, collect the
+  // first-hop set by reverse BFS to src.
+  std::vector<std::vector<NextHop>> nexthops(n);
+  std::vector<std::uint8_t> mark(n, 0);
+  std::vector<topo::RouterId> stack;
+  for (topo::RouterId dst = 0; dst < n; ++dst) {
+    if (dst == src || dist[dst] == kUnreachable) continue;
+    // Reverse walk from dst over predecessor links; whenever a predecessor
+    // link starts at src, that link is a first hop.
+    std::fill(mark.begin(), mark.end(), 0);
+    stack.clear();
+    stack.push_back(dst);
+    mark[dst] = 1;
+    std::vector<topo::LinkId> first_links;
+    while (!stack.empty()) {
+      const topo::RouterId v = stack.back();
+      stack.pop_back();
+      for (const topo::LinkId lid : predecessors[v]) {
+        const topo::RouterId u = topo.link(lid).other(v);
+        if (u == src) {
+          first_links.push_back(lid);
+        } else if (!mark[u]) {
+          mark[u] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(first_links.begin(), first_links.end());
+    first_links.erase(std::unique(first_links.begin(), first_links.end()),
+                      first_links.end());
+    for (const topo::LinkId lid : first_links) {
+      nexthops[dst].push_back(NextHop{lid, topo.link(lid).other(src)});
+    }
+  }
+
+  return RouterRib(std::move(dist), std::move(nexthops));
+}
+
+}  // namespace
+
+IgpState IgpState::compute(const topo::AsTopology& topo,
+                           const std::vector<bool>* link_down) {
+  IgpState state;
+  state.ribs_.reserve(topo.router_count());
+  for (topo::RouterId r = 0; r < topo.router_count(); ++r) {
+    state.ribs_.push_back(spf_from(topo, r, link_down));
+  }
+  return state;
+}
+
+std::uint64_t IgpState::path_count(topo::RouterId src, topo::RouterId dst,
+                                   std::uint64_t cap) const {
+  if (src == dst) return 1;
+  if (!ribs_.at(src).reachable(dst)) return 0;
+  std::uint64_t total = 0;
+  for (const NextHop& nh : ribs_.at(src).nexthops(dst)) {
+    total += path_count(nh.neighbor, dst, cap);
+    if (total >= cap) return cap;
+  }
+  return total;
+}
+
+}  // namespace mum::igp

@@ -1,0 +1,69 @@
+// Link-state IGP shortest-path computation with full ECMP support.
+//
+// For every (source, destination-router) pair we keep *all* equal-cost
+// next hops, each identified by the outgoing link (so two parallel links to
+// the same neighbour are two distinct ECMP next hops, exactly the situation
+// behind the paper's "Parallel Links" subclass). LDP LSP-trees and the
+// forwarding plane both consume these next-hop sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace mum::igp {
+
+struct NextHop {
+  topo::LinkId link = topo::kInvalidLink;
+  topo::RouterId neighbor = topo::kInvalidRouter;
+
+  friend bool operator==(const NextHop&, const NextHop&) = default;
+};
+
+inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+
+// Routing state of one router: distance and ECMP next-hop set toward every
+// other router of the AS (indexed by destination RouterId).
+class RouterRib {
+ public:
+  RouterRib() = default;
+  RouterRib(std::vector<std::uint32_t> dist,
+            std::vector<std::vector<NextHop>> nexthops)
+      : dist_(std::move(dist)), nexthops_(std::move(nexthops)) {}
+
+  std::uint32_t distance(topo::RouterId dst) const { return dist_.at(dst); }
+  bool reachable(topo::RouterId dst) const {
+    return dist_.at(dst) != kUnreachable;
+  }
+  const std::vector<NextHop>& nexthops(topo::RouterId dst) const {
+    return nexthops_.at(dst);
+  }
+
+ private:
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::vector<NextHop>> nexthops_;
+};
+
+// All-routers routing state for one AS.
+class IgpState {
+ public:
+  // Runs Dijkstra from every router. O(R * (L log R)). When `link_down` is
+  // given (indexed by LinkId), those links are excluded — the state after an
+  // IGP reconvergence around failed links.
+  static IgpState compute(const topo::AsTopology& topo,
+                          const std::vector<bool>* link_down = nullptr);
+
+  const RouterRib& rib(topo::RouterId r) const { return ribs_.at(r); }
+  std::size_t router_count() const noexcept { return ribs_.size(); }
+
+  // Number of loop-free shortest paths from src to dst (counts distinct
+  // link sequences, capped to avoid overflow). Used by tests & metrics.
+  std::uint64_t path_count(topo::RouterId src, topo::RouterId dst,
+                           std::uint64_t cap = 1u << 20) const;
+
+ private:
+  std::vector<RouterRib> ribs_;
+};
+
+}  // namespace mum::igp

@@ -1,0 +1,31 @@
+#include "mpls/label_pool.h"
+
+namespace mum::mpls {
+
+LabelRange default_range(topo::Vendor vendor) noexcept {
+  switch (vendor) {
+    case topo::Vendor::kJuniper:
+      // Matches the observable label window of the paper's Fig. 17.
+      return LabelRange{300000, 800000};
+    case topo::Vendor::kCisco:
+      return LabelRange{16, 100000};
+  }
+  return LabelRange{};
+}
+
+LabelPool::LabelPool(topo::Vendor vendor, std::uint64_t seed)
+    : LabelPool(default_range(vendor)) {
+  const std::uint64_t span = range_.last - range_.first + 1;
+  // Offset into the first half so short-lived pools still look "low".
+  next_ = range_.first +
+          static_cast<std::uint32_t>((seed * 0x9e3779b97f4a7c15ull >> 33) %
+                                     (span / 2 + 1));
+}
+
+std::uint32_t LabelPool::allocate() noexcept {
+  if (next_ > range_.last || next_ < range_.first) next_ = range_.first;
+  ++count_;
+  return next_++;
+}
+
+}  // namespace mum::mpls

@@ -1,0 +1,53 @@
+// Per-router MPLS label allocation.
+//
+// Label ranges are vendor-specific (the paper leans on this: Sec. 2.2 notes
+// ranges come from manufacturer documentation, and Sec. 4.5 / Fig. 17 shows
+// Juniper-style RSVP-TE labels sweeping a 300k-800k range and wrapping).
+// Each router owns one pool; LDP and RSVP-TE both draw from it, which is why
+// a label value is only locally meaningful — the core assumption behind LPR's
+// "same IP + different labels => different FECs" inference.
+#pragma once
+
+#include <cstdint>
+
+#include "net/lse.h"
+#include "topo/topology.h"
+
+namespace mum::mpls {
+
+struct LabelRange {
+  std::uint32_t first = net::kLabelFirstUnreserved;
+  std::uint32_t last = net::kLabelMax;
+};
+
+// Default dynamic-label ranges per vendor. The Juniper range matches the
+// observable window of Fig. 17 (labels cycling between ~300000 and ~800000);
+// the Cisco range matches the classic 16..100000 default.
+LabelRange default_range(topo::Vendor vendor) noexcept;
+
+class LabelPool {
+ public:
+  LabelPool() = default;
+  explicit LabelPool(LabelRange range) : range_(range), next_(range.first) {}
+  explicit LabelPool(topo::Vendor vendor) : LabelPool(default_range(vendor)) {}
+  // Router pools in a real network are desynchronized (allocation history,
+  // reboots): seed an arbitrary starting point inside the range. Without
+  // this, every router would hand out the same value for the k-th FEC and
+  // label values would collide across routers systematically.
+  LabelPool(topo::Vendor vendor, std::uint64_t seed);
+
+  // Allocate the next label; wraps to the start of the range when exhausted
+  // (this wrap is what produces the sawtooth of Fig. 17).
+  std::uint32_t allocate() noexcept;
+
+  // Number of labels handed out so far.
+  std::uint64_t allocated() const noexcept { return count_; }
+  const LabelRange& range() const noexcept { return range_; }
+
+ private:
+  LabelRange range_{};
+  std::uint32_t next_ = net::kLabelFirstUnreserved;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace mum::mpls

@@ -1,0 +1,44 @@
+#include "mpls/ldp.h"
+
+namespace mum::mpls {
+
+LdpPlane LdpPlane::build(const topo::AsTopology& topo,
+                         const igp::IgpState& igp, const LdpConfig& config,
+                         std::vector<LabelPool>& pools) {
+  LdpPlane plane;
+  plane.config_ = config;
+  plane.n_ = topo.router_count();
+  plane.labels_.assign(plane.n_ * plane.n_, kNoLabel);
+
+  for (topo::RouterId fec = 0; fec < plane.n_; ++fec) {
+    const bool is_candidate_fec =
+        config.fec_all_loopbacks || topo.router(fec).is_border;
+    if (!is_candidate_fec) continue;
+    for (topo::RouterId r = 0; r < plane.n_; ++r) {
+      if (r == fec) {
+        plane.labels_[r * plane.n_ + fec] =
+            config.php ? net::kLabelImplicitNull
+                       : pools[r].allocate();
+        continue;
+      }
+      if (!igp.rib(r).reachable(fec)) continue;
+      // Downstream unsolicited, liberal retention: every reachable router
+      // binds one label per FEC and advertises it to all neighbours.
+      plane.labels_[r * plane.n_ + fec] = pools[r].allocate();
+    }
+  }
+  return plane;
+}
+
+std::uint32_t LdpPlane::label_of(topo::RouterId r, topo::RouterId fec) const {
+  return labels_.at(r * n_ + fec);
+}
+
+bool LdpPlane::has_fec(topo::RouterId fec) const {
+  for (std::size_t r = 0; r < n_; ++r) {
+    if (labels_[r * n_ + fec] != kNoLabel) return true;
+  }
+  return false;
+}
+
+}  // namespace mum::mpls

@@ -1,0 +1,153 @@
+#include "mpls/rsvp.h"
+
+#include <algorithm>
+#include <set>
+
+#include "net/lse.h"
+
+namespace mum::mpls {
+
+std::vector<topo::LinkId> RsvpTePlane::compute_route(
+    topo::RouterId ingress, topo::RouterId egress,
+    std::uint32_t variant) const {
+  // Walk the ECMP DAG from ingress to egress, picking among equal-cost next
+  // hops with a deterministic index derived from `variant`. variant==0
+  // always takes the first next hop (the canonical IGP route); higher
+  // variants spread over branches, yielding (possibly) diverse routes.
+  std::vector<topo::LinkId> route;
+  topo::RouterId at = ingress;
+  std::uint32_t salt = variant;
+  while (at != egress) {
+    const auto& nhs = igp_->rib(at).nexthops(egress);
+    if (nhs.empty()) return {};  // unreachable
+    const std::size_t pick =
+        nhs.size() == 1 ? 0 : (salt % nhs.size());
+    salt = salt * 2654435761u + 17;  // decorrelate successive picks
+    const auto& nh = nhs[pick];
+    route.push_back(nh.link);
+    at = nh.neighbor;
+  }
+  return route;
+}
+
+void RsvpTePlane::sign_along(TeLsp& lsp,
+                             const std::vector<topo::LinkId>& route,
+                             std::vector<LabelPool>& pools) {
+  lsp.hops.clear();
+  topo::RouterId at = lsp.ingress;
+  for (const topo::LinkId lid : route) {
+    const topo::RouterId next = topo_->link(lid).other(at);
+    TeHop hop;
+    hop.router = next;
+    hop.in_link = lid;
+    const bool is_egress = (next == lsp.egress);
+    hop.in_label = (is_egress && config_.php) ? net::kLabelImplicitNull
+                                              : pools[next].allocate();
+    lsp.hops.push_back(hop);
+    at = next;
+  }
+}
+
+std::vector<LspId> RsvpTePlane::signal(topo::RouterId ingress,
+                                       topo::RouterId egress, int count,
+                                       std::vector<LabelPool>& pools,
+                                       util::Rng& rng) {
+  std::vector<LspId> ids;
+  std::uint32_t variant = 0;
+  for (int i = 0; i < count; ++i) {
+    // First LSP rides the canonical IGP route. Subsequent LSPs usually share
+    // it (the paper's "TE paths often take the same IP path") and sometimes
+    // take a diverse route.
+    if (i > 0 && rng.chance(config_.diverse_route_prob)) ++variant;
+    const auto route = compute_route(ingress, egress, variant);
+    if (route.empty()) break;
+    TeLsp lsp;
+    lsp.id = static_cast<LspId>(lsps_.size());
+    lsp.ingress = ingress;
+    lsp.egress = egress;
+    sign_along(lsp, route, pools);
+    if (config_.frr) {
+      // Pre-signal a maximally link-disjoint backup: search route variants
+      // for the one sharing the fewest links with the primary.
+      const std::set<topo::LinkId> primary(route.begin(), route.end());
+      std::vector<topo::LinkId> best;
+      std::size_t best_shared = ~std::size_t{0};
+      for (std::uint32_t v = 1; v <= 8; ++v) {
+        const auto candidate = compute_route(ingress, egress, v);
+        if (candidate.empty()) continue;
+        std::size_t shared = 0;
+        for (const topo::LinkId l : candidate) {
+          shared += primary.contains(l) ? 1 : 0;
+        }
+        if (shared < best_shared) {
+          best_shared = shared;
+          best = candidate;
+        }
+        if (shared == 0) break;
+      }
+      if (!best.empty() && best_shared < route.size()) {
+        TeLsp backup_holder;
+        backup_holder.ingress = ingress;
+        backup_holder.egress = egress;
+        sign_along(backup_holder, best, pools);
+        lsp.backup_hops = std::move(backup_holder.hops);
+      }
+    }
+    ids.push_back(lsp.id);
+    lsps_.push_back(std::move(lsp));
+  }
+  return ids;
+}
+
+void RsvpTePlane::resignal_over(LspId id,
+                                const std::vector<topo::LinkId>& route,
+                                std::vector<LabelPool>& pools) {
+  if (route.empty()) return;
+  TeLsp& lsp = lsps_.at(id);
+  sign_along(lsp, route, pools);
+  lsp.on_backup = false;
+  ++lsp.resignal_count;
+}
+
+bool RsvpTePlane::crosses_down_link(
+    LspId id, const std::vector<bool>& link_down) const {
+  for (const TeHop& hop : lsps_.at(id).active_hops()) {
+    if (link_down[hop.in_link]) return true;
+  }
+  return false;
+}
+
+bool RsvpTePlane::activate_backup(LspId id,
+                                  const std::vector<bool>& link_down) {
+  TeLsp& lsp = lsps_.at(id);
+  if (lsp.backup_hops.empty()) return false;
+  for (const TeHop& hop : lsp.backup_hops) {
+    if (link_down[hop.in_link]) return false;  // backup broken too
+  }
+  lsp.on_backup = true;
+  return true;
+}
+
+void RsvpTePlane::revert_to_primary(LspId id) {
+  lsps_.at(id).on_backup = false;
+}
+
+void RsvpTePlane::reoptimize(LspId id, std::vector<LabelPool>& pools) {
+  TeLsp& lsp = lsps_.at(id);
+  std::vector<topo::LinkId> route;
+  route.reserve(lsp.hops.size());
+  for (const TeHop& hop : lsp.hops) route.push_back(hop.in_link);
+  sign_along(lsp, route, pools);
+  ++lsp.resignal_count;
+}
+
+std::vector<LspId> RsvpTePlane::lsps_between(topo::RouterId ingress,
+                                             topo::RouterId egress) const {
+  std::vector<LspId> out;
+  for (const TeLsp& lsp : lsps_) {
+    if (lsp.ingress == ingress && lsp.egress == egress) out.push_back(lsp.id);
+  }
+  return out;
+}
+
+}  // namespace mum::mpls

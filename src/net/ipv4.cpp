@@ -1,0 +1,52 @@
+#include "net/ipv4.h"
+
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace mum::net {
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((value_ >> shift) & 0xff);
+    if (shift) out += '.';
+  }
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    const auto octet = util::parse_u64(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  const auto len = util::parse_u64(text.substr(slash + 1));
+  if (!addr || !len || *len > 32) return std::nullopt;
+  return Ipv4Prefix(*addr, static_cast<std::uint8_t>(*len));
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Addr addr) {
+  return os << addr.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Ipv4Prefix& prefix) {
+  return os << prefix.to_string();
+}
+
+}  // namespace mum::net

@@ -1,0 +1,104 @@
+// IPv4 address and prefix value types.
+//
+// These are trivially-copyable value types used throughout the simulator and
+// the LPR core. Addresses are stored host-order in a uint32 so comparisons
+// are cheap and sets/maps are dense.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mum::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr bool is_zero() const noexcept { return value_ == 0; }
+
+  std::string to_string() const;
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// The conventional "no response" marker used for anonymous traceroute hops.
+inline constexpr Ipv4Addr kAnonymousAddr{};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  // Construction normalizes: host bits below `length` are cleared.
+  constexpr Ipv4Prefix(Ipv4Addr addr, std::uint8_t length)
+      : addr_(Ipv4Addr(length == 0 ? 0u : (addr.value() & mask(length)))),
+        length_(length > 32 ? 32 : length) {}
+
+  constexpr Ipv4Addr addr() const noexcept { return addr_; }
+  constexpr std::uint8_t length() const noexcept { return length_; }
+
+  constexpr bool contains(Ipv4Addr a) const noexcept {
+    if (length_ == 0) return true;
+    return (a.value() & mask(length_)) == addr_.value();
+  }
+  constexpr bool contains(const Ipv4Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  // Number of addresses covered.
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  // The i-th address inside the prefix (i taken modulo size()).
+  constexpr Ipv4Addr nth(std::uint64_t i) const noexcept {
+    return Ipv4Addr(addr_.value() +
+                    static_cast<std::uint32_t>(i % size()));
+  }
+
+  std::string to_string() const;
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&,
+                                    const Ipv4Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask(std::uint8_t length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+  Ipv4Addr addr_;
+  std::uint8_t length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Addr addr);
+std::ostream& operator<<(std::ostream& os, const Ipv4Prefix& prefix);
+
+}  // namespace mum::net
+
+template <>
+struct std::hash<mum::net::Ipv4Addr> {
+  std::size_t operator()(mum::net::Ipv4Addr a) const noexcept {
+    // Fibonacci hash spreads sequential interface addresses well.
+    return static_cast<std::size_t>(a.value()) * 0x9e3779b97f4a7c15ull;
+  }
+};
+
+template <>
+struct std::hash<mum::net::Ipv4Prefix> {
+  std::size_t operator()(const mum::net::Ipv4Prefix& p) const noexcept {
+    return (static_cast<std::size_t>(p.addr().value()) << 6) ^ p.length();
+  }
+};

@@ -1,0 +1,69 @@
+#include "net/lse.h"
+
+#include <ostream>
+
+namespace mum::net {
+
+std::string LabelStackEntry::to_string() const {
+  std::string out = "L=" + std::to_string(label_);
+  out += ",TC=" + std::to_string(tc_);
+  out += ",S=" + std::to_string(bottom_ ? 1 : 0);
+  out += ",TTL=" + std::to_string(ttl_);
+  return out;
+}
+
+LabelStack::LabelStack(std::vector<LabelStackEntry> entries)
+    : entries_(std::move(entries)) {
+  fix_bottom_flags();
+}
+
+void LabelStack::push(std::uint32_t label, std::uint8_t tc, std::uint8_t ttl) {
+  entries_.insert(entries_.begin(), LabelStackEntry(label, tc, false, ttl));
+  fix_bottom_flags();
+}
+
+void LabelStack::pop() {
+  if (entries_.empty()) return;
+  entries_.erase(entries_.begin());
+  fix_bottom_flags();
+}
+
+void LabelStack::swap_top(std::uint32_t label) {
+  if (entries_.empty()) return;
+  auto& top_entry = entries_.front();
+  top_entry = LabelStackEntry(label, top_entry.traffic_class(),
+                              top_entry.bottom_of_stack(), top_entry.ttl());
+}
+
+std::vector<std::uint32_t> LabelStack::labels() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.label());
+  return out;
+}
+
+std::string LabelStack::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i) out += " | ";
+    out += entries_[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+void LabelStack::fix_bottom_flags() noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i].set_bottom(i + 1 == entries_.size());
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const LabelStackEntry& lse) {
+  return os << lse.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const LabelStack& stack) {
+  return os << stack.to_string();
+}
+
+}  // namespace mum::net

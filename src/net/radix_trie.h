@@ -1,0 +1,109 @@
+// Binary radix (Patricia-style, one bit per level) trie for IPv4
+// longest-prefix-match lookups, used by the IP2AS service and by router FIBs.
+//
+// Header-only template: values are stored by copy at prefix nodes; lookup
+// walks at most 32 levels and remembers the deepest match.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace mum::net {
+
+template <typename Value>
+class RadixTrie {
+ public:
+  RadixTrie() : root_(std::make_unique<Node>()) {}
+
+  // Insert or overwrite the value at `prefix`.
+  void insert(const Ipv4Prefix& prefix, Value value) {
+    Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const bool bit = bit_at(prefix.addr(), depth);
+      auto& child = bit ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  // Longest-prefix match; nullopt when nothing covers `addr`.
+  std::optional<Value> lookup(Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::optional<Value> best;
+    for (std::uint8_t depth = 0; node != nullptr; ++depth) {
+      if (node->value) best = node->value;
+      if (depth == 32) break;
+      node = bit_at(addr, depth) ? node->one.get() : node->zero.get();
+    }
+    return best;
+  }
+
+  // Longest matching prefix itself (with its value).
+  std::optional<std::pair<Ipv4Prefix, Value>> lookup_prefix(
+      Ipv4Addr addr) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Ipv4Prefix, Value>> best;
+    for (std::uint8_t depth = 0; node != nullptr; ++depth) {
+      if (node->value) best.emplace(Ipv4Prefix(addr, depth), *node->value);
+      if (depth == 32) break;
+      node = bit_at(addr, depth) ? node->one.get() : node->zero.get();
+    }
+    return best;
+  }
+
+  // Exact-prefix fetch (no LPM).
+  std::optional<Value> exact(const Ipv4Prefix& prefix) const {
+    const Node* node = root_.get();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      node = bit_at(prefix.addr(), depth) ? node->one.get() : node->zero.get();
+      if (node == nullptr) return std::nullopt;
+    }
+    return node->value;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  // Enumerate all (prefix, value) pairs in address order.
+  std::vector<std::pair<Ipv4Prefix, Value>> entries() const {
+    std::vector<std::pair<Ipv4Prefix, Value>> out;
+    out.reserve(size_);
+    collect(root_.get(), 0, 0, out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+    std::optional<Value> value;
+  };
+
+  static bool bit_at(Ipv4Addr addr, std::uint8_t depth) noexcept {
+    return ((addr.value() >> (31 - depth)) & 1u) != 0;
+  }
+
+  void collect(const Node* node, std::uint32_t bits, std::uint8_t depth,
+               std::vector<std::pair<Ipv4Prefix, Value>>& out) const {
+    if (node == nullptr) return;
+    if (node->value) {
+      out.emplace_back(Ipv4Prefix(Ipv4Addr(bits), depth), *node->value);
+    }
+    if (depth == 32) return;
+    collect(node->zero.get(), bits, depth + 1, out);
+    collect(node->one.get(), bits | (1u << (31 - depth)), depth + 1, out);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mum::net

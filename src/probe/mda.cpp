@@ -1,0 +1,33 @@
+#include "probe/mda.h"
+
+#include "util/rng.h"
+
+namespace mum::probe {
+
+MdaResult discover_multipath(const PathSpec& path, std::uint64_t base_flow,
+                             int flows) {
+  MdaResult result;
+  result.flows_probed = flows;
+  for (int f = 0; f < flows; ++f) {
+    const std::uint64_t flow =
+        util::hash_combine(base_flow, static_cast<std::uint64_t>(f));
+    const WalkResult walk = walk_path(path, flow);
+
+    std::vector<net::Ipv4Addr> ip_path;
+    std::vector<std::pair<net::Ipv4Addr, std::uint32_t>> labeled;
+    ip_path.reserve(walk.hops.size());
+    labeled.reserve(walk.hops.size());
+    for (const HopRecord& hop : walk.hops) {
+      if (!hop.ttl_visible) continue;
+      ip_path.push_back(hop.addr);
+      labeled.emplace_back(hop.addr, hop.labels.empty()
+                                         ? 0u
+                                         : hop.labels.top().label());
+    }
+    result.ip_paths.insert(std::move(ip_path));
+    result.labeled_paths.insert(std::move(labeled));
+  }
+  return result;
+}
+
+}  // namespace mum::probe

@@ -1,0 +1,39 @@
+// Multipath discovery (MDA-lite): enumerate the IP-level paths a
+// destination's traffic can take by re-probing with many Paris flow
+// identifiers — the active counterpart to LPR's passive inference.
+//
+// The paper's Sec.-5 validation plan rests on two predictions that this
+// module lets us test end-to-end:
+//  * Mono-FEC (ECMP under LDP) tunnels ARE visible as IP-level multipath:
+//    varying the flow id reveals several interface sequences;
+//  * Multi-FEC (RSVP-TE) tunnels are NOT: each FEC pins one explicit route,
+//    so flow-id variation inside one destination prefix changes nothing.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "probe/forwarder.h"
+
+namespace mum::probe {
+
+struct MdaResult {
+  // Distinct full interface sequences discovered (labels ignored).
+  std::set<std::vector<net::Ipv4Addr>> ip_paths;
+  // Distinct (interface, top-label) sequences (what LPR would see).
+  std::set<std::vector<std::pair<net::Ipv4Addr, std::uint32_t>>>
+      labeled_paths;
+  int flows_probed = 0;
+
+  std::size_t ip_path_count() const noexcept { return ip_paths.size(); }
+  bool ip_multipath() const noexcept { return ip_paths.size() > 1; }
+};
+
+// Probe `path` with `flows` different Paris flow identifiers derived from
+// `base_flow` and collect the distinct forwarding outcomes. Deterministic:
+// no observation noise is applied (MDA campaigns retransmit until answered).
+MdaResult discover_multipath(const PathSpec& path, std::uint64_t base_flow,
+                             int flows);
+
+}  // namespace mum::probe

@@ -1,0 +1,67 @@
+#include "probe/traceroute.h"
+
+namespace mum::probe {
+
+std::uint64_t paris_flow_id(const Monitor& monitor, net::Ipv4Addr dst) {
+  // Src/dst addresses and the (per-destination) UDP source port Paris
+  // traceroute derives from them; collapsing to a hash keeps ECMP decisions
+  // deterministic per (monitor, destination).
+  return util::hash_combine(monitor.addr.value(),
+                            util::mix64(dst.value()));
+}
+
+dataset::Trace trace_route(const Monitor& monitor, const PathSpec& path,
+                           const TraceOptions& options, util::Rng& rng) {
+  dataset::Trace trace;
+  trace.monitor_id = monitor.id;
+  trace.src = monitor.addr;
+  trace.dst = path.dst;
+
+  const WalkResult walk = walk_path(path, paris_flow_id(monitor, path.dst));
+
+  double cumulative_ms = 0.0;
+  int ttl = 0;
+  int gap = 0;  // consecutive anonymous hops (scamper-style gap limit)
+  for (const HopRecord& hop : walk.hops) {
+    cumulative_ms += hop.latency_ms;
+    if (!hop.ttl_visible) continue;  // hidden LSR (no ttl-propagate)
+    if (++ttl > options.max_ttl) break;
+
+    dataset::TraceHop out;
+    // Whether the router answers traceroute at all is a per-trace policy
+    // draw; transient reply loss is retried up to `attempts` times.
+    bool answers = rng.chance(hop.response_prob);
+    if (answers) {
+      bool delivered = false;
+      for (int attempt = 0; attempt < std::max(1, options.attempts);
+           ++attempt) {
+        if (!rng.chance(options.reply_loss)) {
+          delivered = true;
+          break;
+        }
+      }
+      answers = delivered;
+    }
+    if (answers) {
+      gap = 0;
+      out.addr = hop.addr;
+      out.rtt_ms = 2.0 * cumulative_ms + rng.uniform01() * 0.4;
+      if (hop.rfc4950 && !hop.labels.empty()) out.labels = hop.labels;
+    } else if (++gap >= options.gap_limit) {
+      trace.hops.push_back(std::move(out));
+      return trace;  // give up: reached=false, trace ends in stars
+    }
+    trace.hops.push_back(std::move(out));
+  }
+
+  if (walk.reached && ttl < options.max_ttl) {
+    dataset::TraceHop final_hop;
+    final_hop.addr = path.dst;
+    final_hop.rtt_ms = 2.0 * (cumulative_ms + 1.0) + rng.uniform01() * 0.4;
+    trace.hops.push_back(std::move(final_hop));
+    trace.reached = true;
+  }
+  return trace;
+}
+
+}  // namespace mum::probe

@@ -1,0 +1,143 @@
+#include "topo/builder.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mum::topo {
+
+namespace {
+
+// Interface subnets: /31s carved after the loopback /18 region.
+struct IfaceAllocator {
+  explicit IfaceAllocator(const net::Ipv4Prefix& block)
+      : block_(block), next_(block.size() / 4) {}
+
+  // Allocate a /31 and return both ends.
+  std::pair<net::Ipv4Addr, net::Ipv4Addr> next_pair() {
+    const net::Ipv4Addr a = block_.nth(next_);
+    const net::Ipv4Addr b = block_.nth(next_ + 1);
+    next_ += 2;
+    return {a, b};
+  }
+
+  net::Ipv4Prefix block_;
+  std::uint64_t next_;
+};
+
+}  // namespace
+
+net::Ipv4Addr loopback_addr(const net::Ipv4Prefix& block,
+                            std::uint32_t index) {
+  // Loopbacks live in the first quarter of the block, stride 4 to make them
+  // visually distinct from interface /31s.
+  return block.nth(std::uint64_t{index} * 4 + 1);
+}
+
+AsTopology build_as_topology(const BuildParams& params, util::Rng& rng) {
+  AsTopology topo(params.asn);
+  IfaceAllocator ifaces(params.block);
+
+  std::uint32_t loopback_index = 0;
+
+  auto vendor_draw = [&]() {
+    return rng.chance(params.juniper_share) ? Vendor::kJuniper : Vendor::kCisco;
+  };
+
+  // Core routers.
+  std::vector<RouterId> core;
+  for (int i = 0; i < params.core_routers; ++i) {
+    const RouterId id = topo.add_router(
+        loopback_addr(params.block, loopback_index++), vendor_draw(),
+        /*is_border=*/false, "core" + std::to_string(i));
+    topo.router(id).response_prob = params.router_response_prob;
+    core.push_back(id);
+  }
+
+  // PoP routers; decide border status up front and force at least two.
+  std::vector<RouterId> pops;
+  int borders = 0;
+  for (int i = 0; i < params.pop_routers; ++i) {
+    const bool is_border = rng.chance(params.border_share);
+    borders += is_border ? 1 : 0;
+    const RouterId id = topo.add_router(
+        loopback_addr(params.block, loopback_index++), vendor_draw(),
+        is_border, "pop" + std::to_string(i));
+    topo.router(id).response_prob = params.router_response_prob;
+    pops.push_back(id);
+  }
+  for (std::size_t i = 0; borders < 2 && i < pops.size(); ++i) {
+    if (!topo.router(pops[i]).is_border) {
+      topo.router(pops[i]).is_border = true;
+      ++borders;
+    }
+  }
+  if (pops.empty() && !core.empty()) {
+    // Degenerate single-level AS: promote two core routers to borders.
+    for (std::size_t i = 0; i < core.size() && i < 2; ++i) {
+      topo.router(core[i]).is_border = true;
+    }
+  }
+
+  auto cost_draw = [&]() -> std::uint32_t {
+    if (params.uniform_costs) {
+      // Mostly cost 1 with a sprinkle of cost-2 adjacencies: ECMP stays
+      // plentiful but some equal-cost routes differ in hop count.
+      return rng.chance(params.heavy_cost_share) ? 2 : 1;
+    }
+    return rng.chance(0.2) ? 2 + static_cast<std::uint32_t>(rng.below(3)) : 1;
+  };
+
+  auto add_adjacency = [&](RouterId a, RouterId b) {
+    const std::uint32_t cost = cost_draw();
+    const int copies =
+        1 + rng.geometric_extra(params.parallel_link_prob,
+                                params.max_parallel_links - 1);
+    for (int c = 0; c < copies; ++c) {
+      const auto [ia, ib] = ifaces.next_pair();
+      // Parallel links in a bundle share the IGP cost so ECMP kicks in.
+      topo.add_link(a, b, ia, ib, cost, 0.2 + rng.uniform01() * 2.0);
+    }
+  };
+
+  // Core: ring + chords (~half mesh) keeps diameter small like real cores.
+  for (std::size_t i = 0; i + 1 < core.size(); ++i) {
+    add_adjacency(core[i], core[i + 1]);
+  }
+  if (core.size() > 2) add_adjacency(core.back(), core.front());
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    for (std::size_t j = i + 2; j < core.size(); ++j) {
+      const bool closing_chord = (i == 0 && j + 1 == core.size());
+      if (!closing_chord && rng.chance(params.core_chord_prob)) {
+        add_adjacency(core[i], core[j]);
+      }
+    }
+  }
+
+  // PoPs: dual-homed into the core at two *adjacent* ring positions — PoPs
+  // are regional, so their uplinks land in the same area of the backbone.
+  // This keeps ring distances (and therefore tunnel lengths) realistic
+  // while still creating router-disjoint ECMP near the attachment.
+  for (const RouterId pop : pops) {
+    if (core.empty()) break;
+    const auto first = static_cast<std::size_t>(rng.below(core.size()));
+    add_adjacency(pop, core[first]);
+    if (core.size() > 1) {
+      add_adjacency(pop, core[(first + 1) % core.size()]);
+    }
+  }
+
+  // Optional shortcuts between PoPs (regional links).
+  const int shortcuts = static_cast<int>(
+      params.shortcut_share * static_cast<double>(params.pop_routers));
+  for (int s = 0; s < shortcuts && pops.size() > 1; ++s) {
+    const auto i = static_cast<std::size_t>(rng.below(pops.size()));
+    auto j = static_cast<std::size_t>(rng.below(pops.size() - 1));
+    if (j >= i) ++j;
+    add_adjacency(pops[i], pops[j]);
+  }
+
+  return topo;
+}
+
+}  // namespace mum::topo

@@ -1,0 +1,55 @@
+// Synthetic router-level topology construction for one AS.
+//
+// The builder produces a two-level design that mimics operational ISP
+// networks: a densely meshed core plus aggregation "PoP" routers hanging off
+// the core, with a configurable share of border routers and a configurable
+// amount of parallel inter-router links. Interface and loopback addressing is
+// carved deterministically out of the AS's address block so that every run
+// with the same seed yields byte-identical topologies.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace mum::topo {
+
+struct BuildParams {
+  std::uint32_t asn = 0;
+  // Address block the AS owns; loopbacks and interface subnets are carved
+  // from it (loopbacks from the first /18, links from the rest).
+  net::Ipv4Prefix block;
+  int core_routers = 4;        // full-ish meshed core
+  int pop_routers = 8;         // each attached to >= 2 core routers
+  double border_share = 0.5;   // fraction of PoP routers that are borders
+  double juniper_share = 0.4;  // vendor mix
+  // Probability that an adjacency gets one extra bundled link, applied
+  // repeatedly (so 0.35 yields ~1.5 links per bundled adjacency).
+  double parallel_link_prob = 0.0;
+  int max_parallel_links = 4;
+  // Extra random core-to-pop shortcut links, as a fraction of pop count.
+  double shortcut_share = 0.3;
+  // Probability of each possible non-ring core chord (low values keep the
+  // core ring-like and paths longer, as in wide-area backbones).
+  double core_chord_prob = 0.15;
+  // In uniform-cost mode, share of adjacencies carrying cost 2 instead of 1
+  // (equal-cost paths may then differ in hop count => unbalanced IOTPs).
+  double heavy_cost_share = 0.1;
+  // Probability a router answers traceroute probes (anonymous routers).
+  double router_response_prob = 0.97;
+  // When true all link costs are 1 (maximizes ECMP); otherwise a few
+  // asymmetric costs are injected.
+  bool uniform_costs = true;
+};
+
+// Build a connected AS topology. Core routers are always non-border; border
+// routers are chosen among PoP routers (plus the guarantee of at least two
+// borders so the AS can carry transit traffic).
+AsTopology build_as_topology(const BuildParams& params, util::Rng& rng);
+
+// Addressing helper: the loopback of router `index` within `block`.
+net::Ipv4Addr loopback_addr(const net::Ipv4Prefix& block, std::uint32_t index);
+
+}  // namespace mum::topo

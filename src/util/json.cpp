@@ -1,0 +1,141 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mum::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted its comma
+  }
+  if (!first_in_frame_.empty()) {
+    if (!first_in_frame_.back()) out_ += ',';
+    first_in_frame_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  out_ += '}';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == Frame::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  if (!first_in_frame_.back()) out_ += ',';
+  first_in_frame_.back() = false;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prefix();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  prefix();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t n) {
+  prefix();
+  out_ += std::to_string(n);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t n) {
+  prefix();
+  out_ += std::to_string(n);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  prefix();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+    return *this;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", d);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prefix();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  assert(stack_.empty());
+  return out_;
+}
+
+}  // namespace mum::util

@@ -1,0 +1,74 @@
+// Minimal JSON writer (RFC 8259 output only — no parser). Used to export
+// LPR reports for external plotting; kept dependency-free and streaming.
+//
+// Usage:
+//   JsonWriter json;
+//   json.begin_object();
+//   json.key("cycle"); json.value(60);
+//   json.key("classes");
+//   json.begin_array();
+//   json.value("Mono-LSP");
+//   json.end_array();
+//   json.end_object();
+//   std::string text = json.str();
+//
+// The writer tracks nesting and comma placement; mismatched begin/end are
+// the caller's bug and are asserted in debug builds.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mum::util {
+
+// Escape a string for inclusion in a JSON document (quotes not included).
+std::string json_escape(std::string_view text);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object key; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::int64_t n);
+  JsonWriter& value(std::uint64_t n);
+  JsonWriter& value(std::uint32_t n) {
+    return value(static_cast<std::uint64_t>(n));
+  }
+  JsonWriter& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  // Doubles are emitted with enough precision to round-trip; NaN/Inf are
+  // not valid JSON and are emitted as null.
+  JsonWriter& value(double d);
+  JsonWriter& null();
+
+  // Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  // Finished document. Asserts all containers are closed.
+  const std::string& str() const;
+
+ private:
+  void prefix();  // emit comma/spacing as required before a new element
+
+  enum class Frame : std::uint8_t { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mum::util

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation for reproducible simulations.
+//
+// All simulation components draw from mum::util::Rng (xoshiro256** seeded via
+// SplitMix64) so that a given seed always yields the same synthetic internet,
+// the same probing campaign, and therefore the same LPR output.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mum::util {
+
+// SplitMix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+// Stateless 64-bit mix of a value (one SplitMix64 round).
+std::uint64_t mix64(std::uint64_t value) noexcept;
+
+// Combine two hashes (order-sensitive).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+// FNV-1a over a string, for stable name-derived seeds.
+std::uint64_t fnv1a(std::string_view text) noexcept;
+
+// xoshiro256** — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) noexcept;
+  // Uniform integer in [0, n) using Lemire's nearly-divisionless method.
+  std::uint64_t below(std::uint64_t n) noexcept;
+  // Uniform double in [0, 1).
+  double uniform01() noexcept;
+  // Bernoulli trial with probability p (clamped to [0, 1]).
+  bool chance(double p) noexcept;
+  // Geometric-ish small integer: minimum + number of successes of repeated
+  // trials with probability `p_more` (capped at `cap`). Handy for "how many
+  // extra parallel links / LSPs" style draws.
+  int geometric_extra(double p_more, int cap) noexcept;
+
+  // Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[static_cast<std::size_t>(below(i))]);
+    }
+  }
+
+  // Fork a stream that is independent of this one but fully determined by
+  // (this stream's seed lineage, tag). Used to give every AS / cycle / monitor
+  // its own stream so that adding probes somewhere never perturbs others.
+  Rng fork(std::uint64_t tag) const noexcept;
+  Rng fork(std::string_view tag) const noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_lineage_;
+};
+
+}  // namespace mum::util

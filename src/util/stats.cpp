@@ -1,0 +1,113 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace mum::util {
+
+void Accumulator::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  const double t = student_t_975(n_ - 1);
+  return t * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void MinMaxAvg::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++n_;
+}
+
+void Histogram::add(std::int64_t key, std::uint64_t weight) {
+  buckets_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::at(std::int64_t key) const noexcept {
+  const auto it = buckets_.find(key);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+double Histogram::pdf(std::int64_t key) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(at(key)) / static_cast<double>(total_);
+}
+
+double Histogram::cdf(std::int64_t key) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (const auto& [k, v] : buckets_) {
+    if (k > key) break;
+    below += v;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::min_key() const noexcept {
+  return buckets_.empty() ? 0 : buckets_.begin()->first;
+}
+
+std::int64_t Histogram::max_key() const noexcept {
+  return buckets_.empty() ? 0 : buckets_.rbegin()->first;
+}
+
+std::vector<std::pair<std::int64_t, double>> Histogram::pdf_rows(
+    std::int64_t clamp_at) const {
+  std::vector<std::pair<std::int64_t, double>> rows;
+  if (total_ == 0) return rows;
+  std::map<std::int64_t, std::uint64_t> folded;
+  for (const auto& [k, v] : buckets_) {
+    const std::int64_t key = (clamp_at >= 0 && k > clamp_at) ? clamp_at : k;
+    folded[key] += v;
+  }
+  rows.reserve(folded.size());
+  for (const auto& [k, v] : folded) {
+    rows.emplace_back(k,
+                      static_cast<double>(v) / static_cast<double>(total_));
+  }
+  return rows;
+}
+
+double student_t_975(std::size_t dof) noexcept {
+  // Two-sided 95% CI -> 0.975 quantile of Student's t distribution.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return kTable[0];
+  if (dof <= kTable.size()) return kTable[dof - 1];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled =
+      static_cast<std::size_t>(std::lround(fraction * static_cast<double>(width)));
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+}  // namespace mum::util

@@ -1,0 +1,82 @@
+// Small statistics toolkit used by the LPR evaluation harness: streaming
+// moments (Welford), min/max/avg trackers, integer histograms with PDF
+// rendering, and Student-t confidence intervals (the paper reports
+// "cumulative average (and confidence interval), over the 60 cycles").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mum::util {
+
+// Streaming mean/variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  // Half-width of the 95% Student-t confidence interval on the mean.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// min / max / avg tracker (Table 2 reports these per year per AS).
+class MinMaxAvg {
+ public:
+  void add(double x) noexcept;
+  bool empty() const noexcept { return n_ == 0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double avg() const noexcept { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  std::size_t count() const noexcept { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Histogram over non-negative integer keys (lengths, widths, symmetry...).
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t weight = 1);
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t at(std::int64_t key) const noexcept;
+  // Probability of `key` (0 when the histogram is empty).
+  double pdf(std::int64_t key) const noexcept;
+  // Cumulative probability of values <= key.
+  double cdf(std::int64_t key) const noexcept;
+  std::int64_t min_key() const noexcept;
+  std::int64_t max_key() const noexcept;
+  // PDF as (key, probability) rows, with every key above `clamp_at` folded
+  // into the `clamp_at` bucket (Fig. 8 uses a ">= 10" terminal bucket).
+  std::vector<std::pair<std::int64_t, double>> pdf_rows(
+      std::int64_t clamp_at = -1) const;
+  const std::map<std::int64_t, std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+// Two-sided 97.5% Student-t quantile for `dof` degrees of freedom (exact table
+// for small dof, asymptotic 1.96 beyond).
+double student_t_975(std::size_t dof) noexcept;
+
+// Render a unit-interval value as a fixed-width ASCII bar (for bench output).
+std::string ascii_bar(double fraction, std::size_t width = 40);
+
+}  // namespace mum::util

@@ -1,0 +1,26 @@
+// Small string helpers shared across modules (no locale dependence).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mum::util {
+
+// Split on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+// Parse an unsigned decimal integer; nullopt on any non-digit or overflow.
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+// true if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace mum::util

@@ -1,0 +1,38 @@
+// Plain-text table and CSV rendering for bench output. Every bench binary
+// prints the rows/series of the paper table or figure it regenerates; this
+// keeps the formatting consistent across all of them.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mum::util {
+
+// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Render with column padding; numeric-looking cells are right-aligned.
+  std::string render() const;
+  // Render as CSV (RFC-4180-ish quoting).
+  std::string render_csv() const;
+
+  // Convenience formatting helpers.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(std::int64_t value);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+}  // namespace mum::util

@@ -1,0 +1,161 @@
+#include "gen/as_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace mum::gen {
+namespace {
+
+net::Ipv4Prefix block(std::uint32_t i) {
+  return net::Ipv4Prefix(net::Ipv4Addr((16u << 24) + (i << 16)), 16);
+}
+
+AsNode node(std::uint32_t asn, AsTier tier) {
+  AsNode n;
+  n.asn = asn;
+  n.tier = tier;
+  n.block = block(asn % 256);
+  return n;
+}
+
+// Classic small hierarchy:
+//   T1a (1) --peer-- T1b (2)
+//    |                 |
+//   Tr (10)          Tr (11)     (transit customers)
+//    |                 |
+//   S (100)          S (101)     (stubs)
+AsGraph small_graph() {
+  AsGraph g;
+  g.add_as(node(1, AsTier::kTier1));
+  g.add_as(node(2, AsTier::kTier1));
+  g.add_as(node(10, AsTier::kTransit));
+  g.add_as(node(11, AsTier::kTransit));
+  g.add_as(node(100, AsTier::kStub));
+  g.add_as(node(101, AsTier::kStub));
+  g.add_peer_peer(1, 2);
+  g.add_provider_customer(1, 10);
+  g.add_provider_customer(2, 11);
+  g.add_provider_customer(10, 100);
+  g.add_provider_customer(11, 101);
+  return g;
+}
+
+TEST(AsGraph, NodeLookup) {
+  const AsGraph g = small_graph();
+  EXPECT_EQ(g.size(), 6u);
+  EXPECT_TRUE(g.contains(10));
+  EXPECT_FALSE(g.contains(99));
+  EXPECT_EQ(g.as_node(10).tier, AsTier::kTransit);
+  EXPECT_EQ(g.as_node(10).providers, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(g.as_node(1).customers, (std::vector<std::uint32_t>{10}));
+  EXPECT_EQ(g.as_node(1).peers, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(AsGraph, SelfRoute) {
+  const AsGraph g = small_graph();
+  EXPECT_EQ(g.route(10, 10), (std::vector<std::uint32_t>{10}));
+}
+
+TEST(AsGraph, CustomerRouteIsDownhill) {
+  const AsGraph g = small_graph();
+  EXPECT_EQ(g.route(1, 100), (std::vector<std::uint32_t>{1, 10, 100}));
+}
+
+TEST(AsGraph, UphillThenDownhill) {
+  const AsGraph g = small_graph();
+  EXPECT_EQ(g.route(100, 10), (std::vector<std::uint32_t>{100, 10}));
+  EXPECT_EQ(g.route(100, 1), (std::vector<std::uint32_t>{100, 10, 1}));
+}
+
+TEST(AsGraph, CrossHierarchyUsesPeerLink) {
+  const AsGraph g = small_graph();
+  EXPECT_EQ(g.route(100, 101),
+            (std::vector<std::uint32_t>{100, 10, 1, 2, 11, 101}));
+}
+
+TEST(AsGraph, ValleyFreeNoTransitThroughStub) {
+  // Add a second provider to stub 100: 100 buys from 10 and 11. A valley-
+  // free path from 10 to 11 must NOT go through customer 100.
+  AsGraph g = small_graph();
+  g.add_provider_customer(11, 100);
+  const auto path = g.route(10, 11);
+  ASSERT_FALSE(path.empty());
+  for (const std::uint32_t asn : path) EXPECT_NE(asn, 100u);
+}
+
+TEST(AsGraph, PeerRoutePreferredOverLongerProviderDetour) {
+  // 10 and 11 peer directly: route must use the peer edge.
+  AsGraph g = small_graph();
+  g.add_peer_peer(10, 11);
+  EXPECT_EQ(g.route(10, 101), (std::vector<std::uint32_t>{10, 11, 101}));
+}
+
+TEST(AsGraph, UnreachableWhenIsolated) {
+  AsGraph g = small_graph();
+  g.add_as(node(200, AsTier::kStub));  // no links
+  EXPECT_TRUE(g.route(100, 200).empty());
+  EXPECT_TRUE(g.route(200, 100).empty());
+  EXPECT_FALSE(g.fully_connected());
+}
+
+TEST(AsGraph, FullyConnectedSmallGraph) {
+  EXPECT_TRUE(small_graph().fully_connected());
+}
+
+TEST(AsGraph, RoutesAreValleyFreeProperty) {
+  // Property: once a path goes peer or downhill, it never climbs again.
+  const AsGraph g = small_graph();
+  for (const std::uint32_t src : g.asns()) {
+    for (const std::uint32_t dst : g.asns()) {
+      const auto path = g.route(src, dst);
+      if (path.size() < 2) continue;
+      bool descending = false;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const AsNode& from = g.as_node(path[i]);
+        const bool step_up =
+            std::find(from.providers.begin(), from.providers.end(),
+                      path[i + 1]) != from.providers.end();
+        if (step_up) {
+          EXPECT_FALSE(descending)
+              << "valley in path " << src << "->" << dst;
+        } else {
+          descending = true;
+        }
+      }
+    }
+  }
+}
+
+TEST(AsGraph, RouteEndpointsCorrect) {
+  const AsGraph g = small_graph();
+  for (const std::uint32_t src : g.asns()) {
+    for (const std::uint32_t dst : g.asns()) {
+      const auto path = g.route(src, dst);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), src);
+      EXPECT_EQ(path.back(), dst);
+    }
+  }
+}
+
+TEST(AsGraph, RouteStepsUseRealEdges) {
+  const AsGraph g = small_graph();
+  auto connected = [&](std::uint32_t a, std::uint32_t b) {
+    const AsNode& n = g.as_node(a);
+    return std::find(n.providers.begin(), n.providers.end(), b) !=
+               n.providers.end() ||
+           std::find(n.customers.begin(), n.customers.end(), b) !=
+               n.customers.end() ||
+           std::find(n.peers.begin(), n.peers.end(), b) != n.peers.end();
+  };
+  for (const std::uint32_t src : g.asns()) {
+    for (const std::uint32_t dst : g.asns()) {
+      const auto path = g.route(src, dst);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(connected(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mum::gen

@@ -1,0 +1,242 @@
+#include "core/classify.h"
+
+#include <gtest/gtest.h>
+
+namespace mum::lpr {
+namespace {
+
+net::Ipv4Addr ip(std::uint32_t v) { return net::Ipv4Addr(v); }
+
+LsrHop hop(std::uint32_t addr, std::uint32_t label) {
+  return LsrHop{ip(addr), {label}};
+}
+
+Lsp lsp_of(std::vector<LsrHop> lsrs) {
+  Lsp lsp;
+  lsp.asn = 65001;
+  lsp.ingress = ip(0xAA);
+  lsp.egress = ip(0xBB);
+  lsp.lsrs = std::move(lsrs);
+  return lsp;
+}
+
+IotpRecord iotp_of(std::vector<Lsp> variants) {
+  IotpRecord rec;
+  rec.key = IotpKey{65001, ip(0xAA), ip(0xBB)};
+  rec.variants = std::move(variants);
+  rec.dst_asns = {1, 2};
+  return rec;
+}
+
+TEST(Classify, SingleVariantIsMonoLsp) {
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(2, 200)})});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMonoLsp);
+  EXPECT_EQ(rec.mono_fec_kind, MonoFecKind::kNotApplicable);
+  EXPECT_EQ(rec.width, 1);
+  EXPECT_EQ(rec.length, 2);
+  EXPECT_EQ(rec.symmetry, 0);
+}
+
+TEST(Classify, EmptyVariantsIsMonoLspDegenerate) {
+  auto rec = iotp_of({});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMonoLsp);
+  EXPECT_EQ(rec.width, 0);
+}
+
+TEST(Classify, MultiFecOnCommonIpWithTwoLabels) {
+  // Same IP path, different labels at every hop (Fig. 4(b)).
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(2, 200)}),
+                      lsp_of({hop(1, 101), hop(2, 201)})});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMultiFec);
+  EXPECT_EQ(rec.width, 2);
+  EXPECT_EQ(rec.symmetry, 0);
+}
+
+TEST(Classify, MultiFecDetectedAtSingleConvergencePoint) {
+  // Branches disjoint except one shared router where labels differ.
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(9, 500)}),
+                      lsp_of({hop(2, 300), hop(9, 501)})});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMultiFec);
+}
+
+TEST(Classify, EcmpRoutersDisjoint) {
+  // Fig. 4(c): branches differ in both IPs and labels somewhere, but at the
+  // common IP (9) the label is identical => one FEC, ECMP diversity.
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(9, 500)}),
+                      lsp_of({hop(2, 300), hop(9, 500)})});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMonoFec);
+  EXPECT_EQ(rec.mono_fec_kind, MonoFecKind::kRoutersDisjoint);
+}
+
+TEST(Classify, EcmpParallelLinks) {
+  // Fig. 4(d): identical label sequences, different addresses at one hop
+  // (bundle interfaces), converging on a common IP later.
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(9, 500)}),
+                      lsp_of({hop(2, 100), hop(9, 500)})});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMonoFec);
+  EXPECT_EQ(rec.mono_fec_kind, MonoFecKind::kParallelLinks);
+}
+
+TEST(Classify, NoCommonIpIsUnclassified) {
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(3, 500)}),
+                      lsp_of({hop(2, 300), hop(4, 501)})});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kUnclassified);
+}
+
+TEST(Classify, MultiFecWinsOverEcmpSignals) {
+  // Two common IPs: one shows a single label, the other two labels.
+  // Algorithm 1 classifies Multi-FEC as soon as ANY common IP differs.
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(9, 500)}),
+                      lsp_of({hop(1, 100), hop(9, 501)})});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMultiFec);
+}
+
+TEST(Classify, AsymmetricBranchLengths) {
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(2, 200), hop(9, 500)}),
+                      lsp_of({hop(3, 300), hop(9, 500)})});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.length, 3);
+  EXPECT_EQ(rec.symmetry, 1);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMonoFec);
+  EXPECT_EQ(rec.mono_fec_kind, MonoFecKind::kRoutersDisjoint);
+}
+
+TEST(Classify, EgressLabeledHopNotCountedInLength) {
+  Lsp lsp = lsp_of({hop(1, 100), hop(2, 200)});
+  lsp.egress_labeled = true;  // non-PHP: hop(2) is the Egress LER
+  auto rec = iotp_of({lsp});
+  classify_iotp(rec);
+  EXPECT_EQ(rec.length, 1);
+}
+
+TEST(Classify, CommonIpsComputation) {
+  const auto rec = iotp_of({lsp_of({hop(1, 1), hop(2, 2), hop(9, 9)}),
+                            lsp_of({hop(1, 1), hop(3, 3), hop(9, 9)})});
+  const auto common = common_ips(rec);
+  EXPECT_EQ(common, (std::set<net::Ipv4Addr>{ip(1), ip(9)}));
+}
+
+TEST(Classify, CommonIpsIgnoreRepeatsWithinOneBranch) {
+  // An address appearing twice in the SAME branch is not common.
+  const auto rec = iotp_of({lsp_of({hop(1, 1), hop(1, 2)}),
+                            lsp_of({hop(3, 3)})});
+  EXPECT_TRUE(common_ips(rec).empty());
+}
+
+TEST(Classify, LabelsAtCollectsTopLabels) {
+  const auto rec = iotp_of({lsp_of({hop(1, 100)}),
+                            lsp_of({hop(1, 101)})});
+  EXPECT_EQ(labels_at(rec, ip(1)), (std::set<std::uint32_t>{100, 101}));
+  EXPECT_TRUE(labels_at(rec, ip(42)).empty());
+}
+
+TEST(Classify, AliasHeuristicRescuesMonoFec) {
+  // No common IP; both branches' last LSRs advertise the same label
+  // sequence => upstream of the (hidden) egress looks like one FEC.
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(3, 500)}),
+                      lsp_of({hop(2, 100), hop(4, 500)})});
+  ClassifyConfig config;
+  config.alias_resolution_heuristic = true;
+  classify_iotp(rec, config);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMonoFec);
+  EXPECT_TRUE(rec.classified_by_alias_heuristic);
+  EXPECT_EQ(rec.mono_fec_kind, MonoFecKind::kParallelLinks);
+}
+
+TEST(Classify, AliasHeuristicRescuesMultiFec) {
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(3, 500)}),
+                      lsp_of({hop(2, 300), hop(4, 777)})});
+  ClassifyConfig config;
+  config.alias_resolution_heuristic = true;
+  classify_iotp(rec, config);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMultiFec);
+  EXPECT_TRUE(rec.classified_by_alias_heuristic);
+}
+
+TEST(Classify, AliasHeuristicOffLeavesUnclassified) {
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(3, 500)}),
+                      lsp_of({hop(2, 100), hop(4, 500)})});
+  classify_iotp(rec);  // default config
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kUnclassified);
+  EXPECT_FALSE(rec.classified_by_alias_heuristic);
+}
+
+TEST(Classify, AliasHeuristicDoesNotFireWhenCommonIpExists) {
+  auto rec = iotp_of({lsp_of({hop(1, 100), hop(9, 500)}),
+                      lsp_of({hop(2, 300), hop(9, 500)})});
+  ClassifyConfig config;
+  config.alias_resolution_heuristic = true;
+  classify_iotp(rec, config);
+  EXPECT_FALSE(rec.classified_by_alias_heuristic);
+  EXPECT_EQ(rec.tunnel_class, TunnelClass::kMonoFec);
+}
+
+TEST(Classify, ClassCountsAggregation) {
+  std::vector<IotpRecord> records;
+  records.push_back(iotp_of({lsp_of({hop(1, 1)})}));  // Mono-LSP
+  records.push_back(iotp_of({lsp_of({hop(1, 100)}),
+                             lsp_of({hop(1, 101)})}));  // Multi-FEC
+  records.push_back(iotp_of({lsp_of({hop(1, 100), hop(9, 5)}),
+                             lsp_of({hop(2, 100), hop(9, 5)})}));  // parallel
+  records.push_back(iotp_of({lsp_of({hop(1, 7), hop(9, 5)}),
+                             lsp_of({hop(2, 8), hop(9, 5)})}));  // disjoint
+  records.push_back(iotp_of({lsp_of({hop(1, 1), hop(3, 3)}),
+                             lsp_of({hop(2, 2), hop(4, 4)})}));  // unclass.
+  const ClassCounts counts = classify_all(records);
+  EXPECT_EQ(counts.mono_lsp, 1u);
+  EXPECT_EQ(counts.multi_fec, 1u);
+  EXPECT_EQ(counts.mono_fec, 2u);
+  EXPECT_EQ(counts.parallel_links, 1u);
+  EXPECT_EQ(counts.routers_disjoint, 1u);
+  EXPECT_EQ(counts.unclassified, 1u);
+  EXPECT_EQ(counts.total(), 5u);
+}
+
+TEST(Classify, ClassNamesStable) {
+  EXPECT_STREQ(to_cstring(TunnelClass::kMonoLsp), "Mono-LSP");
+  EXPECT_STREQ(to_cstring(TunnelClass::kMultiFec), "Multi-FEC");
+  EXPECT_STREQ(to_cstring(TunnelClass::kMonoFec), "Mono-FEC");
+  EXPECT_STREQ(to_cstring(TunnelClass::kUnclassified), "Unclassified");
+  EXPECT_STREQ(to_cstring(MonoFecKind::kParallelLinks), "Parallel Links");
+  EXPECT_STREQ(to_cstring(MonoFecKind::kRoutersDisjoint), "Routers Disjoint");
+}
+
+TEST(Model, LspContentHashDiscriminates) {
+  const Lsp a = lsp_of({hop(1, 100)});
+  Lsp b = a;
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  b.lsrs[0].labels[0] = 101;
+  EXPECT_NE(a.content_hash(), b.content_hash());
+  Lsp c = a;
+  c.lsrs[0].addr = ip(2);
+  EXPECT_NE(a.content_hash(), c.content_hash());
+  Lsp d = a;
+  d.egress = ip(0xCC);
+  EXPECT_NE(a.content_hash(), d.content_hash());
+}
+
+TEST(Model, LspEqualityIgnoresEgressLabeledFlag) {
+  // egress_labeled is derived metadata, not identity.
+  Lsp a = lsp_of({hop(1, 100)});
+  Lsp b = a;
+  b.egress_labeled = !b.egress_labeled;
+  EXPECT_EQ(a, b);
+}
+
+TEST(Model, ToStringMentionsEndpoints) {
+  const Lsp lsp = lsp_of({hop(0x0A000001, 42)});
+  const std::string s = lsp.to_string();
+  EXPECT_NE(s.find("AS65001"), std::string::npos);
+  EXPECT_NE(s.find("(42)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mum::lpr

@@ -1,0 +1,227 @@
+// CLI tests: argument parsing, the generate -> stats/classify/trees
+// pipeline over real temp files, and error handling.
+#include "cli.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dataset/ip2as.h"
+
+namespace mum::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- Args ----------------------------------------------------------------
+
+TEST(Args, TakeValueAndFlag) {
+  Args args({"--out", "/tmp/x", "--small", "file1", "file2"});
+  EXPECT_EQ(args.take_value("--out"), "/tmp/x");
+  EXPECT_TRUE(args.take_flag("--small"));
+  EXPECT_FALSE(args.take_flag("--small"));  // consumed
+  EXPECT_EQ(args.positionals(),
+            (std::vector<std::string>{"file1", "file2"}));
+  EXPECT_FALSE(args.unknown_flag().has_value());
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(Args, MissingValueIsError) {
+  Args args({"--out"});
+  EXPECT_FALSE(args.take_value("--out").has_value());
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(Args, TakeIntDefaultsAndParses) {
+  Args args({"--j", "5"});
+  EXPECT_EQ(args.take_int("--j", 2), 5);
+  EXPECT_EQ(args.take_int("--k", 7), 7);
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(Args, TakeIntRejectsGarbage) {
+  Args args({"--j", "five"});
+  EXPECT_EQ(args.take_int("--j", 2), 2);
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(Args, UnknownFlagDetected) {
+  Args args({"--bogus", "x"});
+  EXPECT_TRUE(args.unknown_flag().has_value());
+  EXPECT_EQ(*args.unknown_flag(), "--bogus");
+}
+
+TEST(Args, ValueFlagAbsent) {
+  Args args({"a", "b"});
+  EXPECT_FALSE(args.take_value("--out").has_value());
+  EXPECT_TRUE(args.ok());  // absence is not an error
+}
+
+// --- ip2as text round trip -------------------------------------------------
+
+TEST(Ip2AsText, RoundTrip) {
+  dataset::Ip2As table;
+  table.add_prefix(*net::Ipv4Prefix::parse("16.0.0.0/15"), 7018);
+  table.add_prefix(*net::Ipv4Prefix::parse("16.2.0.0/16"), 30000);
+  const auto text = dataset::to_table_text(table);
+  const auto back = dataset::ip2as_from_text(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->prefix_count(), 2u);
+  EXPECT_EQ(back->lookup(*net::Ipv4Addr::parse("16.1.2.3")), 7018u);
+  EXPECT_EQ(back->lookup(*net::Ipv4Addr::parse("16.2.2.3")), 30000u);
+}
+
+TEST(Ip2AsText, CommentsAndBlanksAllowed) {
+  const auto table = dataset::ip2as_from_text(
+      "# pfx2as\n\n16.0.0.0/16 100\n   \n16.1.0.0/16\t200\n");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(table->prefix_count(), 2u);
+}
+
+TEST(Ip2AsText, MalformedRejected) {
+  EXPECT_FALSE(dataset::ip2as_from_text("garbage").has_value());
+  EXPECT_FALSE(dataset::ip2as_from_text("16.0.0.0/33 5").has_value());
+  EXPECT_FALSE(dataset::ip2as_from_text("16.0.0.0/16 notanasn").has_value());
+}
+
+// --- end-to-end over temp files -------------------------------------------
+
+class CliPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "mum_cli_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run_cmd(std::vector<std::string> argv_tail, std::string* out_text) {
+    std::vector<const char*> argv{"mum"};
+    for (const auto& a : argv_tail) argv.push_back(a.c_str());
+    std::ostringstream out, err;
+    const int code = run(static_cast<int>(argv.size()), argv.data(), out,
+                         err);
+    if (out_text != nullptr) *out_text = out.str() + err.str();
+    return code;
+  }
+
+  std::vector<std::string> snapshot_files() const {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".mumw") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliPipeline, GenerateClassifyTreesStats) {
+  std::string out;
+  ASSERT_EQ(run_cmd({"generate", "--out", dir_.string(), "--cycle", "50",
+                     "--small", "--snapshots", "2"},
+                    &out),
+            0)
+      << out;
+  const auto files = snapshot_files();
+  ASSERT_EQ(files.size(), 2u);
+  const std::string table = (dir_ / "ip2as.txt").string();
+  ASSERT_TRUE(fs::exists(table));
+
+  ASSERT_EQ(run_cmd({"stats", files[0], files[1]}, &out), 0) << out;
+  EXPECT_NE(out.find("traces"), std::string::npos);
+
+  ASSERT_EQ(run_cmd({"classify", "--ip2as", table, files[0], files[1]},
+                    &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("Mono-LSP"), std::string::npos);
+  EXPECT_NE(out.find("IOTPs"), std::string::npos);
+
+  std::string csv;
+  ASSERT_EQ(run_cmd({"classify", "--csv", "--ip2as", table, files[0]},
+                    &csv),
+            0);
+  EXPECT_NE(csv.find("class,IOTPs,share"), std::string::npos);
+
+  std::string router_level;
+  ASSERT_EQ(run_cmd({"classify", "--router-level", "--ip2as", table,
+                     files[0], files[1]},
+                    &router_level),
+            0);
+  EXPECT_NE(router_level.find("router-level IOTPs"), std::string::npos);
+  EXPECT_NE(router_level.find("alias sets inferred"), std::string::npos);
+
+  std::string json;
+  ASSERT_EQ(run_cmd({"classify", "--json", "--ip2as", table, files[0]},
+                    &json),
+            0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"global\""), std::string::npos);
+  EXPECT_EQ(json.find("\"iotps\""), std::string::npos);
+  std::string json_iotps;
+  ASSERT_EQ(run_cmd({"classify", "--json-iotps", "--ip2as", table,
+                     files[0]},
+                    &json_iotps),
+            0);
+  EXPECT_NE(json_iotps.find("\"iotps\""), std::string::npos);
+
+  ASSERT_EQ(run_cmd({"trees", "--ip2as", table, files[0]}, &out), 0) << out;
+  EXPECT_NE(out.find("egress-rooted trees"), std::string::npos);
+}
+
+TEST_F(CliPipeline, DeterministicAcrossRuns) {
+  std::string out1, out2;
+  ASSERT_EQ(run_cmd({"generate", "--out", (dir_ / "a").string(), "--cycle",
+                     "40", "--small"},
+                    &out1),
+            0);
+  ASSERT_EQ(run_cmd({"generate", "--out", (dir_ / "b").string(), "--cycle",
+                     "40", "--small"},
+                    &out2),
+            0);
+  // Byte-identical snapshot files for the same seed/cycle.
+  std::ifstream a(dir_ / "a" / "cycle40_s0.mumw", std::ios::binary);
+  std::ifstream b(dir_ / "b" / "cycle40_s0.mumw", std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_FALSE(sa.str().empty());
+}
+
+TEST_F(CliPipeline, ErrorsAreReported) {
+  std::string out;
+  EXPECT_NE(run_cmd({"classify", "--ip2as", "/nonexistent", "x.mumw"},
+                    &out),
+            0);
+  EXPECT_NE(run_cmd({"classify", "--ip2as"}, &out), 0);
+  EXPECT_NE(run_cmd({"frobnicate"}, &out), 0);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  EXPECT_NE(run_cmd({"generate", "--cycle", "50"}, &out), 0);  // no --out
+  EXPECT_NE(run_cmd({"generate", "--out", dir_.string(), "--cycle", "99"},
+                    &out),
+            0);
+}
+
+TEST_F(CliPipeline, HelpPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(run_cmd({"--help"}, &out), 0);
+  EXPECT_NE(out.find("usage: mum"), std::string::npos);
+}
+
+TEST_F(CliPipeline, StatsRejectsGarbageFile) {
+  const fs::path bogus = dir_ / "bogus.mumw";
+  std::ofstream(bogus) << "not a snapshot";
+  std::string out;
+  EXPECT_NE(run_cmd({"stats", bogus.string()}, &out), 0);
+  EXPECT_NE(out.find("not a warts-lite snapshot"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mum::cli

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dataset/ip2as.h"
+#include "dataset/trace.h"
+#include "dataset/warts_lite.h"
+#include "icmp/icmp.h"
+#include "util/rng.h"
+
+namespace mum::dataset {
+namespace {
+
+net::Ipv4Addr ip(std::uint32_t v) { return net::Ipv4Addr(v); }
+
+TraceHop labeled_hop(std::uint32_t addr, std::uint32_t label) {
+  TraceHop hop;
+  hop.addr = ip(addr);
+  hop.rtt_ms = 1.5;
+  hop.labels.push(label, 0, 1);
+  return hop;
+}
+
+TraceHop plain_hop(std::uint32_t addr) {
+  TraceHop hop;
+  hop.addr = ip(addr);
+  hop.rtt_ms = 1.0;
+  return hop;
+}
+
+// --- Trace basics -------------------------------------------------------
+
+TEST(Trace, AnonymousDetection) {
+  TraceHop hop;
+  EXPECT_TRUE(hop.anonymous());
+  hop.addr = ip(1);
+  EXPECT_FALSE(hop.anonymous());
+}
+
+TEST(Trace, ExplicitTunnelDetection) {
+  Trace t;
+  t.hops.push_back(plain_hop(1));
+  EXPECT_FALSE(t.crosses_explicit_tunnel());
+  t.hops.push_back(labeled_hop(2, 1000));
+  EXPECT_TRUE(t.crosses_explicit_tunnel());
+}
+
+// --- Ip2As --------------------------------------------------------------
+
+TEST(Ip2As, LongestPrefixMatch) {
+  Ip2As ip2as;
+  ip2as.add_prefix(net::Ipv4Prefix(ip(0x10000000), 8), 100);
+  ip2as.add_prefix(net::Ipv4Prefix(ip(0x10010000), 16), 200);
+  EXPECT_EQ(ip2as.lookup(ip(0x10010203)), 200u);
+  EXPECT_EQ(ip2as.lookup(ip(0x10FF0000)), 100u);
+  EXPECT_EQ(ip2as.lookup(ip(0x20000000)), kUnknownAsn);
+}
+
+TEST(Ip2As, AnnotateFillsHopAndDestAsns) {
+  Ip2As ip2as;
+  ip2as.add_prefix(net::Ipv4Prefix(ip(0x0A000000), 8), 65001);
+  ip2as.add_prefix(net::Ipv4Prefix(ip(0x0B000000), 8), 65002);
+
+  Trace t;
+  t.dst = ip(0x0B000001);
+  t.hops.push_back(plain_hop(0x0A000001));
+  t.hops.push_back(TraceHop{});  // anonymous
+  t.hops.push_back(plain_hop(0x0C000001));  // unmapped
+  ip2as.annotate(t);
+
+  EXPECT_EQ(t.dst_asn, 65002u);
+  EXPECT_EQ(t.hops[0].asn, 65001u);
+  EXPECT_EQ(t.hops[1].asn, kUnknownAsn);
+  EXPECT_EQ(t.hops[2].asn, kUnknownAsn);
+}
+
+TEST(Ip2As, AnnotateVector) {
+  Ip2As ip2as;
+  ip2as.add_prefix(net::Ipv4Prefix(ip(0x0A000000), 8), 65001);
+  std::vector<Trace> traces(3);
+  for (auto& t : traces) t.dst = ip(0x0A000005);
+  ip2as.annotate(traces);
+  for (const auto& t : traces) EXPECT_EQ(t.dst_asn, 65001u);
+}
+
+// --- varints ------------------------------------------------------------
+
+TEST(Varint, RoundTripBoundaries) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+        0xFFFFFFFFull, ~0ull}) {
+    std::string buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    const auto back = get_varint(buf, pos);
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, TruncatedFails) {
+  std::string buf;
+  put_varint(buf, 300);  // two bytes
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint(buf, pos).has_value());
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  std::string buf;
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+// --- warts-lite ---------------------------------------------------------
+
+Snapshot sample_snapshot() {
+  Snapshot snap;
+  snap.cycle_id = 42;
+  snap.sub_index = 1;
+  snap.date = "2014-12";
+  Trace t;
+  t.monitor_id = 7;
+  t.src = ip(0x01020304);
+  t.dst = ip(0x05060708);
+  t.reached = true;
+  t.hops.push_back(plain_hop(0x0A000001));
+  t.hops.push_back(TraceHop{});  // anonymous hop
+  TraceHop multi = labeled_hop(0x0A000002, 300123);
+  multi.labels.push(17, 2, 1);  // two-entry stack
+  t.hops.push_back(multi);
+  snap.traces.push_back(t);
+  Trace unreached;
+  unreached.monitor_id = 8;
+  unreached.src = ip(1);
+  unreached.dst = ip(2);
+  unreached.reached = false;
+  snap.traces.push_back(unreached);
+  return snap;
+}
+
+TEST(WartsLite, RoundTripPreservesEverything) {
+  const Snapshot snap = sample_snapshot();
+  const std::string bytes = serialize_snapshot(snap);
+  const auto back = parse_snapshot(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->cycle_id, snap.cycle_id);
+  EXPECT_EQ(back->sub_index, snap.sub_index);
+  EXPECT_EQ(back->date, snap.date);
+  ASSERT_EQ(back->traces.size(), snap.traces.size());
+  const Trace& t0 = back->traces[0];
+  EXPECT_EQ(t0.monitor_id, 7u);
+  EXPECT_EQ(t0.src, snap.traces[0].src);
+  EXPECT_EQ(t0.dst, snap.traces[0].dst);
+  EXPECT_TRUE(t0.reached);
+  ASSERT_EQ(t0.hops.size(), 3u);
+  EXPECT_TRUE(t0.hops[1].anonymous());
+  EXPECT_EQ(t0.hops[2].labels, snap.traces[0].hops[2].labels);
+  EXPECT_NEAR(t0.hops[0].rtt_ms, 1.0, 1e-3);
+  EXPECT_FALSE(back->traces[1].reached);
+}
+
+TEST(WartsLite, StreamRoundTrip) {
+  const Snapshot snap = sample_snapshot();
+  std::stringstream ss;
+  write_snapshot(ss, snap);
+  const auto back = read_snapshot(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->traces.size(), snap.traces.size());
+}
+
+TEST(WartsLite, RejectsBadMagic) {
+  std::string bytes = serialize_snapshot(sample_snapshot());
+  bytes[0] = 'X';
+  EXPECT_FALSE(parse_snapshot(bytes).has_value());
+}
+
+TEST(WartsLite, RejectsBadVersion) {
+  std::string bytes = serialize_snapshot(sample_snapshot());
+  bytes[4] = 99;
+  EXPECT_FALSE(parse_snapshot(bytes).has_value());
+}
+
+TEST(WartsLite, RejectsTruncation) {
+  const std::string bytes = serialize_snapshot(sample_snapshot());
+  // Every strict prefix must fail cleanly, never crash.
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    EXPECT_FALSE(parse_snapshot(bytes.substr(0, cut)).has_value());
+  }
+}
+
+TEST(WartsLite, EmptySnapshotRoundTrip) {
+  Snapshot snap;
+  snap.cycle_id = 0;
+  snap.date = "";
+  const auto back = parse_snapshot(serialize_snapshot(snap));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->traces.empty());
+}
+
+TEST(WartsLite, TextRenderingContainsKeyFields) {
+  const Snapshot snap = sample_snapshot();
+  const std::string text = to_text(snap);
+  EXPECT_NE(text.find("cycle=42"), std::string::npos);
+  EXPECT_NE(text.find("10.0.0.2"), std::string::npos);
+  EXPECT_NE(text.find("L=300123"), std::string::npos);
+  EXPECT_NE(text.find("*"), std::string::npos);  // anonymous hop
+}
+
+// Fuzz-ish property: random snapshots survive a round trip bit-exactly for
+// the fields LPR consumes.
+class WartsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WartsFuzz, RandomSnapshotsRoundTrip) {
+  util::Rng rng(GetParam());
+  Snapshot snap;
+  snap.cycle_id = static_cast<std::uint32_t>(rng.below(100));
+  snap.sub_index = static_cast<std::uint32_t>(rng.below(30));
+  snap.date = "2013-07";
+  const int n = 1 + static_cast<int>(rng.below(20));
+  for (int i = 0; i < n; ++i) {
+    Trace t;
+    t.monitor_id = static_cast<std::uint32_t>(rng.below(200));
+    t.src = ip(static_cast<std::uint32_t>(rng.next()));
+    t.dst = ip(static_cast<std::uint32_t>(rng.next()));
+    t.reached = rng.chance(0.8);
+    const int hops = static_cast<int>(rng.below(25));
+    for (int h = 0; h < hops; ++h) {
+      TraceHop hop;
+      if (!rng.chance(0.1)) {
+        hop.addr = ip(static_cast<std::uint32_t>(rng.next()));
+        hop.rtt_ms = rng.uniform01() * 300.0;
+        const int stack = static_cast<int>(rng.below(3));
+        for (int s = 0; s < stack; ++s) {
+          hop.labels.push(static_cast<std::uint32_t>(rng.below(1 << 20)),
+                          static_cast<std::uint8_t>(rng.below(8)), 1);
+        }
+      }
+      t.hops.push_back(std::move(hop));
+    }
+    snap.traces.push_back(std::move(t));
+  }
+
+  const auto back = parse_snapshot(serialize_snapshot(snap));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->traces.size(), snap.traces.size());
+  for (std::size_t i = 0; i < snap.traces.size(); ++i) {
+    const Trace& a = snap.traces[i];
+    const Trace& b = back->traces[i];
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.reached, b.reached);
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].addr, b.hops[h].addr);
+      EXPECT_EQ(a.hops[h].labels, b.hops[h].labels);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WartsFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- ICMP ---------------------------------------------------------------
+
+TEST(Icmp, ReplyToString) {
+  icmp::IcmpReply reply;
+  reply.type = icmp::IcmpType::kTimeExceeded;
+  reply.from = ip(0x0A000001);
+  reply.rtt_ms = 12.0;
+  EXPECT_NE(icmp::to_string(reply).find("time-exceeded"), std::string::npos);
+  EXPECT_NE(icmp::to_string(reply).find("10.0.0.1"), std::string::npos);
+  EXPECT_FALSE(reply.has_labels());
+
+  icmp::MplsExtension ext;
+  ext.stack.push(300000, 0, 1);
+  reply.mpls = ext;
+  EXPECT_TRUE(reply.has_labels());
+  EXPECT_NE(icmp::to_string(reply).find("L=300000"), std::string::npos);
+}
+
+TEST(Icmp, EmptyExtensionHasNoLabels) {
+  icmp::IcmpReply reply;
+  reply.mpls = icmp::MplsExtension{};
+  EXPECT_FALSE(reply.has_labels());
+}
+
+}  // namespace
+}  // namespace mum::dataset

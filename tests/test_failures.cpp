@@ -1,0 +1,231 @@
+// Tests for the failure/reconvergence machinery: SPF with excluded links,
+// RSVP-TE re-signalling over new routes, LER-enablement gating, and the
+// month-context failure application.
+#include <gtest/gtest.h>
+
+#include "gen/campaign.h"
+#include "gen/internet.h"
+#include "igp/spf.h"
+#include "mpls/rsvp.h"
+#include "probe/forwarder.h"
+#include "util/rng.h"
+
+namespace mum {
+namespace {
+
+using topo::AsTopology;
+using topo::RouterId;
+using topo::Vendor;
+
+net::Ipv4Addr ip(std::uint32_t v) { return net::Ipv4Addr(v); }
+
+// Diamond: a-b-d / a-c-d, all cost 1.
+struct Diamond {
+  Diamond() : topo(1) {
+    a = topo.add_router(ip(1), Vendor::kJuniper, true);
+    b = topo.add_router(ip(2), Vendor::kJuniper, false);
+    c = topo.add_router(ip(3), Vendor::kJuniper, false);
+    d = topo.add_router(ip(4), Vendor::kJuniper, true);
+    ab = topo.add_link(a, b, ip(101), ip(102), 1);
+    ac = topo.add_link(a, c, ip(103), ip(104), 1);
+    bd = topo.add_link(b, d, ip(105), ip(106), 1);
+    cd = topo.add_link(c, d, ip(107), ip(108), 1);
+  }
+  AsTopology topo;
+  RouterId a, b, c, d;
+  topo::LinkId ab, ac, bd, cd;
+};
+
+TEST(SpfLinkDown, FailureRemovesEcmpBranch) {
+  Diamond f;
+  std::vector<bool> down(f.topo.link_count(), false);
+  down[f.ab] = true;
+  const auto igp = igp::IgpState::compute(f.topo, &down);
+  const auto& nhs = igp.rib(f.a).nexthops(f.d);
+  ASSERT_EQ(nhs.size(), 1u);
+  EXPECT_EQ(nhs[0].neighbor, f.c);
+  EXPECT_EQ(igp.rib(f.a).distance(f.d), 2u);
+}
+
+TEST(SpfLinkDown, FailureLengthensPath) {
+  Diamond f;
+  std::vector<bool> down(f.topo.link_count(), false);
+  down[f.ab] = true;
+  down[f.ac] = true;
+  const auto igp = igp::IgpState::compute(f.topo, &down);
+  EXPECT_FALSE(igp.rib(f.a).reachable(f.d));  // both arms cut
+}
+
+TEST(SpfLinkDown, NullFailureVectorMatchesBase) {
+  Diamond f;
+  const auto base = igp::IgpState::compute(f.topo);
+  std::vector<bool> none(f.topo.link_count(), false);
+  const auto same = igp::IgpState::compute(f.topo, &none);
+  for (RouterId s = 0; s < f.topo.router_count(); ++s) {
+    for (RouterId t = 0; t < f.topo.router_count(); ++t) {
+      EXPECT_EQ(base.rib(s).distance(t), same.rib(s).distance(t));
+    }
+  }
+}
+
+TEST(RsvpResignal, CrossesDownLinkDetection) {
+  Diamond f;
+  const auto igp = igp::IgpState::compute(f.topo);
+  mpls::RsvpConfig config;
+  config.diverse_route_prob = 0.0;
+  mpls::RsvpTePlane plane(&f.topo, &igp, config);
+  std::vector<mpls::LabelPool> pools(4, mpls::LabelPool(Vendor::kJuniper));
+  util::Rng rng(1);
+  const auto ids = plane.signal(f.a, f.d, 1, pools, rng);
+  ASSERT_EQ(ids.size(), 1u);
+
+  std::vector<bool> down(f.topo.link_count(), false);
+  // LSP takes a->?->d; mark whichever first link it uses as down.
+  const auto first_link = plane.lsp(ids[0]).hops[0].in_link;
+  down[first_link] = true;
+  EXPECT_TRUE(plane.crosses_down_link(ids[0], down));
+  down[first_link] = false;
+  EXPECT_FALSE(plane.crosses_down_link(ids[0], down));
+}
+
+TEST(RsvpResignal, ResignalOverNewRouteChangesPathAndLabels) {
+  Diamond f;
+  const auto igp = igp::IgpState::compute(f.topo);
+  mpls::RsvpTePlane plane(&f.topo, &igp, {});
+  std::vector<mpls::LabelPool> pools(4, mpls::LabelPool(Vendor::kJuniper));
+  util::Rng rng(1);
+  const auto ids = plane.signal(f.a, f.d, 1, pools, rng);
+  const auto before = plane.lsp(ids[0]);
+
+  // Re-route via the other arm.
+  const RouterId old_mid = before.hops[0].router;
+  const RouterId new_mid = old_mid == f.b ? f.c : f.b;
+  const topo::LinkId l1 = old_mid == f.b ? f.ac : f.ab;
+  const topo::LinkId l2 = old_mid == f.b ? f.cd : f.bd;
+  plane.resignal_over(ids[0], {l1, l2}, pools);
+  const auto& after = plane.lsp(ids[0]);
+  EXPECT_EQ(after.hops[0].router, new_mid);
+  EXPECT_EQ(after.hops.back().router, f.d);
+  EXPECT_EQ(after.resignal_count, 1u);
+}
+
+TEST(RsvpResignal, EmptyRouteIsNoop) {
+  Diamond f;
+  const auto igp = igp::IgpState::compute(f.topo);
+  mpls::RsvpTePlane plane(&f.topo, &igp, {});
+  std::vector<mpls::LabelPool> pools(4, mpls::LabelPool(Vendor::kJuniper));
+  util::Rng rng(1);
+  const auto ids = plane.signal(f.a, f.d, 1, pools, rng);
+  const auto before = plane.lsp(ids[0]);
+  plane.resignal_over(ids[0], {}, pools);
+  EXPECT_EQ(plane.lsp(ids[0]).resignal_count, 0u);
+  EXPECT_EQ(plane.lsp(ids[0]).hops.size(), before.hops.size());
+}
+
+// --- LER gating ---------------------------------------------------------
+
+TEST(LerGating, FullShareAlwaysEnabled) {
+  probe::AsDataPlane plane;
+  plane.ler_share = 1.0;
+  for (RouterId r = 0; r < 64; ++r) {
+    EXPECT_TRUE(probe::ler_enabled(plane, r));
+  }
+}
+
+TEST(LerGating, ZeroShareAlwaysDisabled) {
+  probe::AsDataPlane plane;
+  plane.ler_share = 0.0;
+  for (RouterId r = 0; r < 64; ++r) {
+    EXPECT_FALSE(probe::ler_enabled(plane, r));
+  }
+}
+
+TEST(LerGating, ShareApproximatesFraction) {
+  probe::AsDataPlane plane;
+  plane.ler_share = 0.4;
+  plane.ler_salt = 99;
+  int enabled = 0;
+  const int n = 4000;
+  for (RouterId r = 0; r < static_cast<RouterId>(n); ++r) {
+    enabled += probe::ler_enabled(plane, r) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(enabled) / n, 0.4, 0.04);
+}
+
+TEST(LerGating, MonotoneInShare) {
+  // A router enabled at share s stays enabled at any s' > s.
+  probe::AsDataPlane lo, hi;
+  lo.ler_share = 0.3;
+  hi.ler_share = 0.7;
+  lo.ler_salt = hi.ler_salt = 7;
+  for (RouterId r = 0; r < 500; ++r) {
+    if (probe::ler_enabled(lo, r)) {
+      EXPECT_TRUE(probe::ler_enabled(hi, r));
+    }
+  }
+}
+
+// --- MonthContext failures ----------------------------------------------
+
+gen::GenConfig small_config() {
+  gen::GenConfig c;
+  c.background_tier1 = 1;
+  c.background_transit = 6;
+  c.stub_ases = 8;
+  c.monitors = 4;
+  c.dests_per_monitor = 60;
+  return c;
+}
+
+TEST(MonthFailures, FailuresMonotoneWithinMonth) {
+  // A link down at sub s stays down at sub s' > s, so the set of ASes with
+  // an IGP override can only grow within a month.
+  gen::GenConfig config = small_config();
+  config.as_maintenance_prob = 1.0;
+  config.link_fail_prob = 0.3;
+  gen::Internet internet(config);
+  gen::MonthContext ctx = internet.instantiate(50);
+
+  auto overridden = [&](int sub) {
+    ctx.apply_flaps(sub, 0.0);
+    std::set<std::uint32_t> out;
+    for (const std::uint32_t asn : internet.modeled_asns()) {
+      const auto* plane = ctx.plane_of(asn);
+      const auto* base = &internet.modeled(asn)->igp;
+      if (plane->igp != base) out.insert(asn);
+    }
+    return out;
+  };
+  const auto at0 = overridden(0);
+  const auto at2 = overridden(2);
+  for (const std::uint32_t asn : at0) {
+    EXPECT_TRUE(at2.contains(asn)) << "AS" << asn;
+  }
+  EXPECT_GE(at2.size(), at0.size());
+}
+
+TEST(MonthFailures, NoMaintenanceNoOverride) {
+  gen::GenConfig config = small_config();
+  config.as_maintenance_prob = 0.0;
+  gen::Internet internet(config);
+  gen::MonthContext ctx = internet.instantiate(50);
+  ctx.apply_flaps(2, 0.0);
+  for (const std::uint32_t asn : internet.modeled_asns()) {
+    EXPECT_EQ(ctx.plane_of(asn)->igp, &internet.modeled(asn)->igp);
+  }
+}
+
+TEST(MonthFailures, CampaignSurvivesHeavyFailures) {
+  // Even with aggressive failures, the campaign must produce annotatable
+  // traces (walks truncate gracefully, never crash or loop).
+  gen::GenConfig config = small_config();
+  config.as_maintenance_prob = 1.0;
+  config.link_fail_prob = 0.5;
+  gen::Internet internet(config);
+  const auto ip2as = internet.build_ip2as();
+  const auto month = gen::generate_month(internet, ip2as, 50, {});
+  EXPECT_GT(month.cycle().trace_count(), 100u);
+}
+
+}  // namespace
+}  // namespace mum

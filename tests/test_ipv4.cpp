@@ -1,0 +1,140 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace mum::net {
+namespace {
+
+TEST(Ipv4Addr, OctetConstruction) {
+  const Ipv4Addr a(192, 168, 1, 20);
+  EXPECT_EQ(a.value(), 0xC0A80114u);
+}
+
+TEST(Ipv4Addr, ToString) {
+  EXPECT_EQ(Ipv4Addr(10, 0, 0, 1).to_string(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Addr(255, 255, 255, 255).to_string(), "255.255.255.255");
+  EXPECT_EQ(Ipv4Addr().to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4Addr, ParseRoundTrip) {
+  for (const char* text :
+       {"0.0.0.0", "1.2.3.4", "10.255.0.17", "255.255.255.255"}) {
+    const auto addr = Ipv4Addr::parse(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(addr->to_string(), text);
+  }
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  for (const char* text : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d",
+                           "1..2.3", "1.2.3.-4", "1.2.3.4 "}) {
+    EXPECT_FALSE(Ipv4Addr::parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Addr(7, 7, 7, 7), Ipv4Addr(0x07070707));
+}
+
+TEST(Ipv4Addr, AnonymousMarkerIsZero) {
+  EXPECT_TRUE(kAnonymousAddr.is_zero());
+}
+
+TEST(Ipv4Addr, HashSpreadsSequentialAddresses) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    hashes.insert(std::hash<Ipv4Addr>{}(Ipv4Addr(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Ipv4Prefix, NormalizesHostBits) {
+  const Ipv4Prefix p(Ipv4Addr(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.addr(), Ipv4Addr(10, 1, 0, 0));
+  EXPECT_EQ(p.length(), 16);
+}
+
+TEST(Ipv4Prefix, LengthClamped) {
+  const Ipv4Prefix p(Ipv4Addr(1, 2, 3, 4), 60);
+  EXPECT_EQ(p.length(), 32);
+}
+
+TEST(Ipv4Prefix, ContainsAddr) {
+  const Ipv4Prefix p(Ipv4Addr(10, 20, 0, 0), 16);
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 20, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 20, 255, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 21, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(11, 20, 0, 0)));
+}
+
+TEST(Ipv4Prefix, DefaultRouteContainsEverything) {
+  const Ipv4Prefix any(Ipv4Addr(), 0);
+  EXPECT_TRUE(any.contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_TRUE(any.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_EQ(any.size(), 1ull << 32);
+}
+
+TEST(Ipv4Prefix, ContainsPrefix) {
+  const Ipv4Prefix p16(Ipv4Addr(10, 20, 0, 0), 16);
+  const Ipv4Prefix p24(Ipv4Addr(10, 20, 5, 0), 24);
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+}
+
+TEST(Ipv4Prefix, SizeAndNth) {
+  const Ipv4Prefix p(Ipv4Addr(10, 0, 0, 0), 24);
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.nth(0), Ipv4Addr(10, 0, 0, 0));
+  EXPECT_EQ(p.nth(255), Ipv4Addr(10, 0, 0, 255));
+  EXPECT_EQ(p.nth(256), Ipv4Addr(10, 0, 0, 0));  // wraps modulo size
+}
+
+TEST(Ipv4Prefix, Host32Prefix) {
+  const Ipv4Prefix host(Ipv4Addr(9, 9, 9, 9), 32);
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.contains(Ipv4Addr(9, 9, 9, 9)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(9, 9, 9, 8)));
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "192.168.1.0/24",
+                           "1.2.3.4/32"}) {
+    const auto p = Ipv4Prefix::parse(text);
+    ASSERT_TRUE(p.has_value()) << text;
+    EXPECT_EQ(p->to_string(), text);
+  }
+}
+
+TEST(Ipv4Prefix, ParseNormalizes) {
+  const auto p = Ipv4Prefix::parse("10.1.2.3/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, ParseRejectsMalformed) {
+  for (const char* text : {"", "10.0.0.0", "10.0.0.0/33", "10.0.0.0/x",
+                           "10.0.0/8", "/8"}) {
+    EXPECT_FALSE(Ipv4Prefix::parse(text).has_value()) << text;
+  }
+}
+
+// Parameterized: nth() stays inside the prefix for a sweep of lengths.
+class PrefixNth : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(PrefixNth, NthStaysInside) {
+  const std::uint8_t len = GetParam();
+  const Ipv4Prefix p(Ipv4Addr(172, 16, 0, 0), len);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(p.contains(p.nth(i * 97 + 3)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PrefixNth,
+                         ::testing::Values(8, 12, 16, 20, 24, 28, 30, 32));
+
+}  // namespace
+}  // namespace mum::net

@@ -1,0 +1,148 @@
+// Tests for the MDA-lite multipath discovery, including the Sec.-5
+// validation predictions: Mono-FEC (LDP+ECMP) tunnels are visible as
+// IP-level multipath, Multi-FEC (RSVP-TE) tunnels are not.
+#include "probe/mda.h"
+
+#include <gtest/gtest.h>
+
+#include "mpls/ldp.h"
+#include "mpls/rsvp.h"
+#include "util/rng.h"
+
+namespace mum::probe {
+namespace {
+
+using topo::AsTopology;
+using topo::RouterId;
+using topo::Vendor;
+
+net::Ipv4Addr ip(std::uint32_t v) { return net::Ipv4Addr(v); }
+
+// Diamond AS with LDP; optionally TE LSPs between the borders.
+struct MdaFixture {
+  MdaFixture() : topo(65001) {
+    a = topo.add_router(ip(0x10000001), Vendor::kCisco, true);
+    b = topo.add_router(ip(0x10000002), Vendor::kCisco, false);
+    c = topo.add_router(ip(0x10000003), Vendor::kCisco, false);
+    d = topo.add_router(ip(0x10000004), Vendor::kCisco, true);
+    topo.add_link(a, b, ip(0x10010001), ip(0x10010002), 1);
+    topo.add_link(a, c, ip(0x10010003), ip(0x10010004), 1);
+    topo.add_link(b, d, ip(0x10010005), ip(0x10010006), 1);
+    topo.add_link(c, d, ip(0x10010007), ip(0x10010008), 1);
+    igp = igp::IgpState::compute(topo);
+    for (std::size_t i = 0; i < topo.router_count(); ++i) {
+      pools.emplace_back(Vendor::kCisco);
+    }
+    ldp = mpls::LdpPlane::build(topo, igp, {}, pools);
+    plane.asn = 65001;
+    plane.topo = &topo;
+    plane.igp = &igp;
+    plane.ldp = &*ldp;
+  }
+
+  void enable_te() {
+    rsvp.emplace(&topo, &igp, mpls::RsvpConfig{});
+    util::Rng rng(3);
+    const auto ids = rsvp->signal(a, d, 2, pools, rng);
+    plane.rsvp = &*rsvp;
+    plane.te_policy.pairs[{a, d}] = ids;
+    plane.te_policy.te_share = 1.0;
+  }
+
+  PathSpec path() const {
+    PathSpec p;
+    SegmentSpec seg;
+    seg.plane = &plane;
+    seg.ingress = a;
+    seg.egress = d;
+    seg.entry_iface = ip(0x10020000);
+    p.segments.push_back(seg);
+    p.dst = ip(0x20000001);
+    return p;
+  }
+
+  AsTopology topo;
+  igp::IgpState igp;
+  std::vector<mpls::LabelPool> pools;
+  std::optional<mpls::LdpPlane> ldp;
+  std::optional<mpls::RsvpTePlane> rsvp;
+  AsDataPlane plane;
+  RouterId a, b, c, d;
+};
+
+TEST(Mda, MonoFecEcmpVisibleAsIpMultipath) {
+  // The paper's first validation prediction.
+  MdaFixture f;
+  const auto result = discover_multipath(f.path(), 7, 32);
+  EXPECT_TRUE(result.ip_multipath());
+  EXPECT_EQ(result.ip_path_count(), 2u);  // via b and via c
+}
+
+TEST(Mda, MultiFecTeNotVisibleAsIpMultipath) {
+  // The paper's second validation prediction: one destination prefix maps
+  // to one pinned TE LSP — flow-id variation changes nothing.
+  MdaFixture f;
+  f.enable_te();
+  const auto result = discover_multipath(f.path(), 7, 32);
+  EXPECT_FALSE(result.ip_multipath());
+  EXPECT_EQ(result.labeled_paths.size(), 1u);
+}
+
+TEST(Mda, DifferentPrefixesMayUseDifferentTeLsps) {
+  // Across prefixes the TE mesh spreads load; each prefix alone is pinned.
+  MdaFixture f;
+  f.enable_te();
+  std::set<std::vector<std::pair<net::Ipv4Addr, std::uint32_t>>> all;
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    PathSpec p = f.path();
+    p.dst = ip(0x20000000 + (d << 8));
+    const auto result = discover_multipath(p, 7, 4);
+    EXPECT_EQ(result.ip_path_count(), 1u) << "prefix " << d;
+    all.insert(result.labeled_paths.begin(), result.labeled_paths.end());
+  }
+  EXPECT_GE(all.size(), 2u);  // at least two distinct LSPs across prefixes
+}
+
+TEST(Mda, LabeledPathsDistinguishLogicalDiversity) {
+  // Same IP path, different labels => labeled_paths > ip_paths.
+  MdaFixture f;
+  f.enable_te();
+  std::set<std::vector<net::Ipv4Addr>> ips;
+  std::set<std::vector<std::pair<net::Ipv4Addr, std::uint32_t>>> labeled;
+  for (std::uint32_t d = 0; d < 32; ++d) {
+    PathSpec p = f.path();
+    p.dst = ip(0x20000000 + (d << 8));
+    const auto result = discover_multipath(p, 7, 2);
+    ips.insert(result.ip_paths.begin(), result.ip_paths.end());
+    labeled.insert(result.labeled_paths.begin(), result.labeled_paths.end());
+  }
+  EXPECT_GE(labeled.size(), ips.size());
+}
+
+TEST(Mda, SingleFlowSinglePath) {
+  MdaFixture f;
+  const auto result = discover_multipath(f.path(), 7, 1);
+  EXPECT_EQ(result.ip_path_count(), 1u);
+  EXPECT_EQ(result.flows_probed, 1);
+}
+
+TEST(Mda, Deterministic) {
+  MdaFixture f;
+  const auto r1 = discover_multipath(f.path(), 7, 16);
+  const auto r2 = discover_multipath(f.path(), 7, 16);
+  EXPECT_EQ(r1.ip_paths, r2.ip_paths);
+  EXPECT_EQ(r1.labeled_paths, r2.labeled_paths);
+}
+
+TEST(Mda, PlainIpForwardingStillEnumeratesEcmp) {
+  MdaFixture f;
+  f.plane.ldp = nullptr;  // no MPLS at all
+  const auto result = discover_multipath(f.path(), 7, 32);
+  EXPECT_EQ(result.ip_path_count(), 2u);
+  for (const auto& labeled : result.labeled_paths) {
+    for (const auto& [addr, label] : labeled) EXPECT_EQ(label, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mum::probe

@@ -1,0 +1,141 @@
+#include "net/radix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace mum::net {
+namespace {
+
+TEST(RadixTrie, EmptyLookupMisses) {
+  RadixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(1, 2, 3, 4)).has_value());
+}
+
+TEST(RadixTrie, ExactHostRoute) {
+  RadixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(9, 9, 9, 9), 32), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(9, 9, 9, 9)), 1);
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(9, 9, 9, 8)).has_value());
+}
+
+TEST(RadixTrie, LongestPrefixWins) {
+  RadixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8), 8);
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16), 16);
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 1, 2, 0), 24), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 9, 9)), 16);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 200, 0, 1)), 8);
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(RadixTrie, DefaultRouteCatchesAll) {
+  RadixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(), 0), 99);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(255, 1, 2, 3)), 99);
+  trie.insert(Ipv4Prefix(Ipv4Addr(255, 0, 0, 0), 8), 8);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(255, 1, 2, 3)), 8);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(1, 1, 1, 1)), 99);
+}
+
+TEST(RadixTrie, InsertOverwrites) {
+  RadixTrie<int> trie;
+  const Ipv4Prefix p(Ipv4Addr(10, 0, 0, 0), 8);
+  trie.insert(p, 1);
+  trie.insert(p, 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 5, 5, 5)), 2);
+}
+
+TEST(RadixTrie, LookupPrefixReturnsCoveringPrefix) {
+  RadixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16), 7);
+  const auto hit = trie.lookup_prefix(Ipv4Addr(10, 1, 2, 3));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16));
+  EXPECT_EQ(hit->second, 7);
+}
+
+TEST(RadixTrie, ExactFetch) {
+  RadixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16), 2);
+  EXPECT_EQ(trie.exact(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8)), 1);
+  EXPECT_EQ(trie.exact(Ipv4Prefix(Ipv4Addr(10, 1, 0, 0), 16)), 2);
+  EXPECT_FALSE(trie.exact(Ipv4Prefix(Ipv4Addr(10, 2, 0, 0), 16)).has_value());
+}
+
+TEST(RadixTrie, EntriesEnumeratesEverythingInOrder) {
+  RadixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(20, 0, 0, 0), 8), 1);
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 8), 2);
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 128, 0, 0), 9), 3);
+  const auto entries = trie.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first.addr(), Ipv4Addr(10, 0, 0, 0));
+  EXPECT_EQ(entries[1].first.addr(), Ipv4Addr(10, 128, 0, 0));
+  EXPECT_EQ(entries[2].first.addr(), Ipv4Addr(20, 0, 0, 0));
+}
+
+TEST(RadixTrie, AdjacentSiblingPrefixesDistinct) {
+  RadixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 0, 0, 0), 9), 0);
+  trie.insert(Ipv4Prefix(Ipv4Addr(10, 128, 0, 0), 9), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 0, 0)), 0);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 200, 0, 0)), 1);
+}
+
+// Property test: trie LPM must agree with a brute-force scan, on randomized
+// prefix tables across several densities.
+class RadixTrieProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixTrieProperty, MatchesBruteForce) {
+  const int n_prefixes = GetParam();
+  util::Rng rng(777 + static_cast<std::uint64_t>(n_prefixes));
+
+  RadixTrie<int> trie;
+  std::vector<std::pair<Ipv4Prefix, int>> table;
+  for (int i = 0; i < n_prefixes; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform(4, 28));
+    const Ipv4Prefix p(Ipv4Addr(static_cast<std::uint32_t>(rng.next())), len);
+    trie.insert(p, i);
+    // Mirror overwrite semantics in the reference table.
+    bool replaced = false;
+    for (auto& [q, v] : table) {
+      if (q == p) {
+        v = i;
+        replaced = true;
+      }
+    }
+    if (!replaced) table.emplace_back(p, i);
+  }
+
+  for (int probe = 0; probe < 500; ++probe) {
+    // Half the probes land inside a known prefix to exercise hits.
+    Ipv4Addr addr(static_cast<std::uint32_t>(rng.next()));
+    if (probe % 2 == 0 && !table.empty()) {
+      const auto& [p, v] = table[static_cast<std::size_t>(
+          rng.below(table.size()))];
+      addr = p.nth(rng.below(p.size()));
+    }
+    std::optional<int> expected;
+    int best_len = -1;
+    for (const auto& [p, v] : table) {
+      if (p.contains(addr) && p.length() > best_len) {
+        best_len = p.length();
+        expected = v;
+      }
+    }
+    EXPECT_EQ(trie.lookup(addr), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RadixTrieProperty,
+                         ::testing::Values(1, 8, 64, 256));
+
+}  // namespace
+}  // namespace mum::net

@@ -1,0 +1,199 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mum::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BelowZeroAndOneReturnZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform(9, 9), 9u);
+  EXPECT_EQ(rng.uniform(9, 3), 9u);  // hi < lo clamps to lo
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricExtraRespectsCap) {
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LE(rng.geometric_extra(0.99, 3), 3);
+    EXPECT_EQ(rng.geometric_extra(0.0, 5), 0);
+  }
+}
+
+TEST(Rng, ForkIndependentOfParentConsumption) {
+  // fork(tag) must not depend on how many draws the parent made.
+  Rng a(99), b(99);
+  a.next();
+  a.next();
+  Rng fa = a.fork(7);
+  Rng fb = b.fork(7);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Rng, ForksWithDifferentTagsDiffer) {
+  Rng a(99);
+  Rng f1 = a.fork(1), f2 = a.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (f1.next() == f2.next()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StringForkMatchesHash) {
+  Rng a(4);
+  Rng f1 = a.fork("alpha");
+  Rng f2 = a.fork(fnv1a("alpha"));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(f1.next(), f2.next());
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(13);
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(15);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Hashing, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+  // Low bits of sequential inputs should decorrelate.
+  std::set<std::uint64_t> low;
+  for (std::uint64_t i = 0; i < 128; ++i) low.insert(mix64(i) & 0xff);
+  EXPECT_GT(low.size(), 90u);
+}
+
+TEST(Hashing, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hashing, Fnv1aKnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Hashing, SplitMixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto first = splitmix64(s);
+  const auto second = splitmix64(s);
+  EXPECT_NE(first, second);
+  EXPECT_NE(s, 0u);
+}
+
+// Property sweep: below(n) is roughly uniform for several n.
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformity, BelowIsRoughlyUniform) {
+  const std::uint64_t n = GetParam();
+  Rng rng(1000 + n);
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  const int draws = 3000 * static_cast<int>(n);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.below(n))];
+  }
+  const double expected = static_cast<double>(draws) / static_cast<double>(n);
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallModuli, RngUniformity,
+                         ::testing::Values(2, 3, 5, 7, 16));
+
+}  // namespace
+}  // namespace mum::util

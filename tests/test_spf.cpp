@@ -1,0 +1,190 @@
+#include "igp/spf.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/builder.h"
+#include "util/rng.h"
+
+namespace mum::igp {
+namespace {
+
+using topo::AsTopology;
+using topo::RouterId;
+using topo::Vendor;
+
+net::Ipv4Addr ip(std::uint32_t v) { return net::Ipv4Addr(v); }
+
+// a --1-- b --1-- c, plus a --3-- c (worse).
+AsTopology triangle() {
+  AsTopology topo(1);
+  const auto a = topo.add_router(ip(1), Vendor::kCisco, true);
+  const auto b = topo.add_router(ip(2), Vendor::kCisco, false);
+  const auto c = topo.add_router(ip(3), Vendor::kCisco, true);
+  topo.add_link(a, b, ip(101), ip(102), 1);
+  topo.add_link(b, c, ip(103), ip(104), 1);
+  topo.add_link(a, c, ip(105), ip(106), 3);
+  return topo;
+}
+
+TEST(Spf, ShortestDistances) {
+  const auto topo = triangle();
+  const IgpState igp = IgpState::compute(topo);
+  EXPECT_EQ(igp.rib(0).distance(0), 0u);
+  EXPECT_EQ(igp.rib(0).distance(1), 1u);
+  EXPECT_EQ(igp.rib(0).distance(2), 2u);  // via b, not the cost-3 direct link
+  EXPECT_EQ(igp.rib(2).distance(0), 2u);
+}
+
+TEST(Spf, SingleNextHopOnUniquePath) {
+  const auto topo = triangle();
+  const IgpState igp = IgpState::compute(topo);
+  const auto& nhs = igp.rib(0).nexthops(2);
+  ASSERT_EQ(nhs.size(), 1u);
+  EXPECT_EQ(nhs[0].neighbor, 1u);
+}
+
+TEST(Spf, EqualCostDirectAndIndirect) {
+  // a-b-c all cost 1, plus direct a-c cost 2: both routes tie.
+  AsTopology topo(1);
+  const auto a = topo.add_router(ip(1), Vendor::kCisco, false);
+  const auto b = topo.add_router(ip(2), Vendor::kCisco, false);
+  const auto c = topo.add_router(ip(3), Vendor::kCisco, false);
+  topo.add_link(a, b, ip(101), ip(102), 1);
+  topo.add_link(b, c, ip(103), ip(104), 1);
+  topo.add_link(a, c, ip(105), ip(106), 2);
+  const IgpState igp = IgpState::compute(topo);
+  const auto& nhs = igp.rib(a).nexthops(c);
+  ASSERT_EQ(nhs.size(), 2u);
+  std::set<RouterId> neighbors;
+  for (const auto& nh : nhs) neighbors.insert(nh.neighbor);
+  EXPECT_EQ(neighbors, (std::set<RouterId>{b, c}));
+}
+
+TEST(Spf, ParallelLinksAreDistinctNextHops) {
+  AsTopology topo(1);
+  const auto a = topo.add_router(ip(1), Vendor::kCisco, false);
+  const auto b = topo.add_router(ip(2), Vendor::kCisco, false);
+  topo.add_link(a, b, ip(101), ip(102), 1);
+  topo.add_link(a, b, ip(103), ip(104), 1);
+  const IgpState igp = IgpState::compute(topo);
+  const auto& nhs = igp.rib(a).nexthops(b);
+  ASSERT_EQ(nhs.size(), 2u);
+  EXPECT_NE(nhs[0].link, nhs[1].link);
+  EXPECT_EQ(nhs[0].neighbor, b);
+  EXPECT_EQ(nhs[1].neighbor, b);
+}
+
+TEST(Spf, UnequalParallelLinksNotEcmp) {
+  AsTopology topo(1);
+  const auto a = topo.add_router(ip(1), Vendor::kCisco, false);
+  const auto b = topo.add_router(ip(2), Vendor::kCisco, false);
+  topo.add_link(a, b, ip(101), ip(102), 1);
+  topo.add_link(a, b, ip(103), ip(104), 2);  // worse bundle member
+  const IgpState igp = IgpState::compute(topo);
+  ASSERT_EQ(igp.rib(a).nexthops(b).size(), 1u);
+  EXPECT_EQ(igp.rib(a).nexthops(b)[0].link, 0u);
+}
+
+TEST(Spf, DisconnectedIsUnreachable) {
+  AsTopology topo(1);
+  topo.add_router(ip(1), Vendor::kCisco, false);
+  topo.add_router(ip(2), Vendor::kCisco, false);
+  const IgpState igp = IgpState::compute(topo);
+  EXPECT_FALSE(igp.rib(0).reachable(1));
+  EXPECT_EQ(igp.rib(0).distance(1), kUnreachable);
+  EXPECT_TRUE(igp.rib(0).nexthops(1).empty());
+}
+
+TEST(Spf, SelfDistanceZeroNoNextHops) {
+  const auto topo = triangle();
+  const IgpState igp = IgpState::compute(topo);
+  EXPECT_EQ(igp.rib(1).distance(1), 0u);
+  EXPECT_TRUE(igp.rib(1).nexthops(1).empty());
+}
+
+TEST(Spf, DiamondEcmp) {
+  //    b
+  //  /   \
+  // a     d   (all costs 1: two equal paths a-b-d / a-c-d)
+  //  \   /
+  //    c
+  AsTopology topo(1);
+  const auto a = topo.add_router(ip(1), Vendor::kCisco, false);
+  const auto b = topo.add_router(ip(2), Vendor::kCisco, false);
+  const auto c = topo.add_router(ip(3), Vendor::kCisco, false);
+  const auto d = topo.add_router(ip(4), Vendor::kCisco, false);
+  topo.add_link(a, b, ip(101), ip(102), 1);
+  topo.add_link(a, c, ip(103), ip(104), 1);
+  topo.add_link(b, d, ip(105), ip(106), 1);
+  topo.add_link(c, d, ip(107), ip(108), 1);
+  const IgpState igp = IgpState::compute(topo);
+  EXPECT_EQ(igp.rib(a).nexthops(d).size(), 2u);
+  EXPECT_EQ(igp.path_count(a, d), 2u);
+  // Intermediate routers see a single next hop each.
+  EXPECT_EQ(igp.rib(b).nexthops(d).size(), 1u);
+}
+
+TEST(Spf, PathCountMultiplies) {
+  // Two diamonds in series: 2 * 2 = 4 shortest paths.
+  AsTopology topo(1);
+  std::vector<RouterId> r;
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    r.push_back(topo.add_router(ip(i + 1), Vendor::kCisco, false));
+  }
+  std::uint32_t next_ip = 100;
+  auto link = [&](RouterId x, RouterId y) {
+    topo.add_link(x, y, ip(next_ip++), ip(next_ip++), 1);
+  };
+  link(r[0], r[1]);
+  link(r[0], r[2]);
+  link(r[1], r[3]);
+  link(r[2], r[3]);
+  link(r[3], r[4]);
+  link(r[3], r[5]);
+  link(r[4], r[6]);
+  link(r[5], r[6]);
+  const IgpState igp = IgpState::compute(topo);
+  EXPECT_EQ(igp.path_count(r[0], r[6]), 4u);
+}
+
+// Property tests over random builder topologies.
+class SpfProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpfProperty, InvariantsHold) {
+  util::Rng rng(GetParam());
+  topo::BuildParams params;
+  params.asn = 1;
+  params.block = net::Ipv4Prefix(net::Ipv4Addr(16, 0, 0, 0), 16);
+  params.core_routers = 4 + static_cast<int>(rng.below(4));
+  params.pop_routers = 6 + static_cast<int>(rng.below(10));
+  params.parallel_link_prob = 0.3;
+  const AsTopology topo = topo::build_as_topology(params, rng);
+  const IgpState igp = IgpState::compute(topo);
+
+  for (RouterId s = 0; s < topo.router_count(); ++s) {
+    for (RouterId d = 0; d < topo.router_count(); ++d) {
+      if (s == d) continue;
+      // Connected builder output: everything reachable.
+      ASSERT_TRUE(igp.rib(s).reachable(d));
+      const auto dist = igp.rib(s).distance(d);
+      // Symmetric distances (undirected links, symmetric costs).
+      EXPECT_EQ(dist, igp.rib(d).distance(s));
+      for (const NextHop& nh : igp.rib(s).nexthops(d)) {
+        // Every next hop strictly decreases the remaining distance by the
+        // traversed link's cost (the ECMP DAG property).
+        const auto& link = topo.link(nh.link);
+        EXPECT_EQ(link.other(s), nh.neighbor);
+        EXPECT_EQ(igp.rib(nh.neighbor).distance(d) + link.igp_cost, dist);
+      }
+      EXPECT_FALSE(igp.rib(s).nexthops(d).empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpfProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mum::igp

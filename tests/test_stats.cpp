@@ -1,0 +1,156 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mum::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.ci95_halfwidth(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(4.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample (unbiased) variance of this classic dataset is 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Accumulator, Ci95MatchesHandComputation) {
+  Accumulator acc;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) acc.add(x);
+  // stddev = sqrt(2.5), n = 5, t(4, .975) = 2.776.
+  const double expected = 2.776 * std::sqrt(2.5) / std::sqrt(5.0);
+  EXPECT_NEAR(acc.ci95_halfwidth(), expected, 1e-9);
+}
+
+TEST(Accumulator, ConstantSeriesHasZeroVariance) {
+  Accumulator acc;
+  for (int i = 0; i < 100; ++i) acc.add(3.25);
+  EXPECT_NEAR(acc.variance(), 0.0, 1e-12);
+}
+
+TEST(MinMaxAvg, EmptyDefaults) {
+  MinMaxAvg m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_DOUBLE_EQ(m.min(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg(), 0.0);
+}
+
+TEST(MinMaxAvg, TracksExtremesAndMean) {
+  MinMaxAvg m;
+  for (const double x : {5.0, -1.0, 3.0, 9.0}) m.add(x);
+  EXPECT_DOUBLE_EQ(m.min(), -1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_DOUBLE_EQ(m.avg(), 4.0);
+  EXPECT_EQ(m.count(), 4u);
+}
+
+TEST(MinMaxAvg, SingleObservation) {
+  MinMaxAvg m;
+  m.add(7.0);
+  EXPECT_DOUBLE_EQ(m.min(), 7.0);
+  EXPECT_DOUBLE_EQ(m.max(), 7.0);
+  EXPECT_DOUBLE_EQ(m.avg(), 7.0);
+}
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.pdf(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(3), 0.0);
+  EXPECT_TRUE(h.pdf_rows().empty());
+}
+
+TEST(Histogram, PdfAndCdf) {
+  Histogram h;
+  h.add(1, 2);
+  h.add(2, 6);
+  h.add(5, 2);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_DOUBLE_EQ(h.pdf(1), 0.2);
+  EXPECT_DOUBLE_EQ(h.pdf(2), 0.6);
+  EXPECT_DOUBLE_EQ(h.pdf(3), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(1), 0.2);
+  EXPECT_DOUBLE_EQ(h.cdf(4), 0.8);
+  EXPECT_DOUBLE_EQ(h.cdf(5), 1.0);
+}
+
+TEST(Histogram, MinMaxKeys) {
+  Histogram h;
+  h.add(4);
+  h.add(-2);
+  h.add(10);
+  EXPECT_EQ(h.min_key(), -2);
+  EXPECT_EQ(h.max_key(), 10);
+}
+
+TEST(Histogram, PdfRowsClampFoldsTail) {
+  Histogram h;
+  for (int k = 1; k <= 20; ++k) h.add(k);
+  const auto rows = h.pdf_rows(/*clamp_at=*/10);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.back().first, 10);
+  // 11..20 fold into the 10 bucket: 11 of 20 values.
+  EXPECT_DOUBLE_EQ(rows.back().second, 11.0 / 20.0);
+  double sum = 0;
+  for (const auto& [k, p] : rows) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, PdfRowsNoClamp) {
+  Histogram h;
+  h.add(3, 1);
+  h.add(7, 3);
+  const auto rows = h.pdf_rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, 3);
+  EXPECT_DOUBLE_EQ(rows[0].second, 0.25);
+  EXPECT_EQ(rows[1].first, 7);
+  EXPECT_DOUBLE_EQ(rows[1].second, 0.75);
+}
+
+TEST(StudentT, KnownQuantiles) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_975(30), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_975(59), 2.000, 1e-3);   // the paper's 60 cycles
+  EXPECT_NEAR(student_t_975(1000), 1.960, 1e-3);
+}
+
+TEST(StudentT, MonotoneDecreasing) {
+  double prev = student_t_975(1);
+  for (const std::size_t dof : {2u, 5u, 10u, 30u, 60u, 120u, 500u}) {
+    const double t = student_t_975(dof);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(AsciiBar, WidthAndClamping) {
+  EXPECT_EQ(ascii_bar(0.0, 10), "..........");
+  EXPECT_EQ(ascii_bar(1.0, 10), "##########");
+  EXPECT_EQ(ascii_bar(0.5, 10), "#####.....");
+  EXPECT_EQ(ascii_bar(-3.0, 4), "....");
+  EXPECT_EQ(ascii_bar(7.0, 4), "####");
+}
+
+}  // namespace
+}  // namespace mum::util

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace mum::util {
+namespace {
+
+// --- TextTable ----------------------------------------------------------
+
+TEST(TextTable, RenderAlignsColumns) {
+  TextTable t({"name", "count"});
+  t.add_row({"alpha", "5"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.render();
+  // Header present, separator present, all rows same length.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  std::size_t line_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.render().find("x"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, CsvPlainCellsUnquoted) {
+  TextTable t({"k"});
+  t.add_row({"plain"});
+  EXPECT_EQ(t.render_csv(), "k\nplain\n");
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::fmt_int(-42), "-42");
+  EXPECT_EQ(TextTable::fmt_pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(TextTable::fmt_pct(1.0, 0), "100%");
+}
+
+// --- strings ------------------------------------------------------------
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("..a.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "a");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitEmptyStringYieldsOneField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, ParseU64Valid) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            18446744073709551615ull);  // UINT64_MAX
+}
+
+TEST(Strings, ParseU64Invalid) {
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("12a").has_value());
+  EXPECT_FALSE(parse_u64(" 1").has_value());
+  EXPECT_FALSE(parse_u64("18446744073709551616").has_value());  // overflow
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", ""));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_FALSE(starts_with("xfoo", "foo"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace mum::util

@@ -1,0 +1,460 @@
+#include "cli.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/alias.h"
+#include "core/report.h"
+#include "core/report_json.h"
+#include "core/tree.h"
+#include "dataset/warts_lite.h"
+#include "gen/campaign.h"
+#include "gen/internet.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace mum::cli {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------------------
+// Args
+// ----------------------------------------------------------------------
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) tokens_.emplace_back(argv[i]);
+  consumed_.assign(tokens_.size(), false);
+}
+
+Args::Args(std::vector<std::string> tokens) : tokens_(std::move(tokens)) {
+  consumed_.assign(tokens_.size(), false);
+}
+
+std::optional<std::string> Args::take_value(const std::string& name) {
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (consumed_[i] || tokens_[i] != name) continue;
+    if (i + 1 >= tokens_.size() || consumed_[i + 1]) {
+      error_ = name + " requires a value";
+      return std::nullopt;
+    }
+    consumed_[i] = consumed_[i + 1] = true;
+    return tokens_[i + 1];
+  }
+  return std::nullopt;
+}
+
+bool Args::take_flag(const std::string& name) {
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (!consumed_[i] && tokens_[i] == name) {
+      consumed_[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+long Args::take_int(const std::string& name, long def) {
+  const auto value = take_value(name);
+  if (!value) return def;
+  const auto parsed = util::parse_u64(*value);
+  if (!parsed) {
+    error_ = name + " expects an integer, got '" + *value + "'";
+    return def;
+  }
+  return static_cast<long>(*parsed);
+}
+
+std::vector<std::string> Args::positionals() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (!consumed_[i] && !util::starts_with(tokens_[i], "--")) {
+      out.push_back(tokens_[i]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> Args::unknown_flag() const {
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (!consumed_[i] && util::starts_with(tokens_[i], "--")) {
+      return tokens_[i];
+    }
+  }
+  return std::nullopt;
+}
+
+// ----------------------------------------------------------------------
+// shared helpers
+// ----------------------------------------------------------------------
+
+namespace {
+
+std::optional<dataset::Snapshot> load_snapshot(const std::string& path,
+                                               std::ostream& err) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    err << "cannot open " << path << '\n';
+    return std::nullopt;
+  }
+  auto snap = dataset::read_snapshot(is);
+  if (!snap) {
+    err << path << ": not a warts-lite snapshot\n";
+  }
+  return snap;
+}
+
+std::optional<dataset::Ip2As> load_ip2as(const std::string& path,
+                                         std::ostream& err) {
+  std::ifstream is(path);
+  if (!is) {
+    err << "cannot open " << path << '\n';
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  auto table = dataset::ip2as_from_text(buffer.str());
+  if (!table) err << path << ": malformed ip2as table\n";
+  return table;
+}
+
+// Load + annotate the snapshots named on the command line. The first file
+// is the cycle; the rest feed the Persistence filter.
+struct LoadedData {
+  dataset::Ip2As ip2as;
+  std::vector<dataset::Snapshot> snapshots;
+};
+
+std::optional<LoadedData> load_inputs(Args& args, std::ostream& err,
+                                      bool need_ip2as) {
+  LoadedData data;
+  if (need_ip2as) {
+    const auto ip2as_path = args.take_value("--ip2as");
+    if (!ip2as_path) {
+      err << "--ip2as FILE is required\n";
+      return std::nullopt;
+    }
+    auto table = load_ip2as(*ip2as_path, err);
+    if (!table) return std::nullopt;
+    data.ip2as = std::move(*table);
+  }
+  const auto files = args.positionals();
+  if (files.empty()) {
+    err << "no snapshot files given\n";
+    return std::nullopt;
+  }
+  for (const auto& file : files) {
+    auto snap = load_snapshot(file, err);
+    if (!snap) return std::nullopt;
+    data.ip2as.annotate(snap->traces);
+    data.snapshots.push_back(std::move(*snap));
+  }
+  return data;
+}
+
+void print_class_table(std::ostream& out, const lpr::ClassCounts& counts,
+                       bool csv) {
+  util::TextTable table({"class", "IOTPs", "share"});
+  const double total = static_cast<double>(counts.total());
+  auto row = [&](const char* name, std::uint64_t n) {
+    table.add_row({name,
+                   util::TextTable::fmt_int(static_cast<std::int64_t>(n)),
+                   total > 0 ? util::TextTable::fmt(n / total, 3) : "-"});
+  };
+  row("Mono-LSP", counts.mono_lsp);
+  row("Multi-FEC", counts.multi_fec);
+  row("Mono-FEC", counts.mono_fec);
+  row("  parallel-links", counts.parallel_links);
+  row("  routers-disjoint", counts.routers_disjoint);
+  row("Unclassified", counts.unclassified);
+  out << (csv ? table.render_csv() : table.render());
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// generate
+// ----------------------------------------------------------------------
+
+int run_generate(Args& args, std::ostream& out, std::ostream& err) {
+  const auto out_dir = args.take_value("--out");
+  const long cycle = args.take_int("--cycle", 60);
+  const long seed = args.take_int("--seed", 20151028);
+  const long snapshots = args.take_int("--snapshots", 3);
+  const bool small = args.take_flag("--small");
+  if (!args.ok()) {
+    err << args.error() << '\n';
+    return 2;
+  }
+  if (!out_dir) {
+    err << "--out DIR is required\n";
+    return 2;
+  }
+  if (cycle < 1 || cycle > gen::kCycles) {
+    err << "--cycle must be in [1, " << gen::kCycles << "]\n";
+    return 2;
+  }
+
+  gen::GenConfig config;
+  config.seed = static_cast<std::uint64_t>(seed);
+  if (small) {
+    config.background_transit = 8;
+    config.stub_ases = 12;
+    config.monitors = 6;
+    config.dests_per_monitor = 150;
+  }
+  gen::Internet internet(config);
+  const auto ip2as = internet.build_ip2as();
+
+  gen::CampaignConfig campaign;
+  campaign.extra_snapshots = static_cast<int>(snapshots) - 1;
+  const auto month = gen::generate_month(internet, ip2as,
+                                         static_cast<int>(cycle) - 1,
+                                         campaign);
+
+  fs::create_directories(*out_dir);
+  for (const auto& snap : month.snapshots) {
+    const fs::path file =
+        fs::path(*out_dir) / ("cycle" + std::to_string(snap.cycle_id + 1) +
+                              "_s" + std::to_string(snap.sub_index) +
+                              ".mumw");
+    std::ofstream os(file, std::ios::binary);
+    if (!os) {
+      err << "cannot write " << file << '\n';
+      return 1;
+    }
+    dataset::write_snapshot(os, snap);
+    out << "wrote " << file.string() << " (" << snap.trace_count()
+        << " traces)\n";
+  }
+  const fs::path table_file = fs::path(*out_dir) / "ip2as.txt";
+  std::ofstream ts(table_file);
+  ts << dataset::to_table_text(ip2as);
+  out << "wrote " << table_file.string() << " (" << ip2as.prefix_count()
+      << " prefixes)\n";
+  return 0;
+}
+
+// ----------------------------------------------------------------------
+// classify
+// ----------------------------------------------------------------------
+
+int run_classify(Args& args, std::ostream& out, std::ostream& err) {
+  const long j = args.take_int("--j", 2);
+  const bool alias = args.take_flag("--alias");
+  const bool router_level = args.take_flag("--router-level");
+  const bool csv = args.take_flag("--csv");
+  const bool json = args.take_flag("--json");
+  const bool json_iotps = args.take_flag("--json-iotps");
+  auto data = load_inputs(args, err, /*need_ip2as=*/true);
+  if (!args.ok()) {
+    err << args.error() << '\n';
+    return 2;
+  }
+  if (!data) return 2;
+
+  dataset::MonthData month;
+  month.cycle_id = data->snapshots.front().cycle_id;
+  month.date = data->snapshots.front().date;
+  month.snapshots = std::move(data->snapshots);
+
+  lpr::PipelineConfig pipeline;
+  pipeline.filter.persistence_j = static_cast<int>(j);
+  pipeline.filter.enable_persistence = j > 0 && month.snapshots.size() > 1;
+  pipeline.classify.alias_resolution_heuristic = alias;
+  lpr::CycleReport report =
+      lpr::run_pipeline(month, data->ip2as, pipeline);
+
+  if (router_level) {
+    // Re-group at router granularity (Sec.-5 extension): passive alias
+    // inference over the cycle data, endpoints canonicalized, classes
+    // recomputed.
+    const auto extracted =
+        lpr::extract_lsps(month.cycle(), data->ip2as);
+    std::vector<lpr::ExtractedSnapshot> following;
+    for (std::size_t i = 1; i < month.snapshots.size(); ++i) {
+      following.push_back(
+          lpr::extract_lsps(month.snapshots[i], data->ip2as));
+    }
+    const auto filtered =
+        lpr::apply_filters(extracted, following, pipeline.filter);
+    const lpr::LabelAliasResolver resolver(filtered.observations,
+                                           month.cycle().traces);
+    auto iotps = lpr::group_iotps(
+        lpr::to_router_level(filtered.observations, resolver));
+    report.global = lpr::classify_all(iotps, pipeline.classify);
+    report.per_as.clear();
+    for (const auto& rec : iotps) report.per_as[rec.key.asn].add(rec);
+    report.iotps = std::move(iotps);
+    if (!csv) {
+      out << "(router-level IOTPs: " << resolver.alias_sets().size()
+          << " alias sets inferred)\n";
+    }
+  }
+
+  if (json || json_iotps) {
+    out << lpr::to_json(report, json_iotps) << '\n';
+    return 0;
+  }
+
+  if (!csv) {
+    const auto& f = report.filter_stats;
+    out << "cycle " << report.cycle_id + 1 << " (" << report.date << "): "
+        << f.observed << " LSPs observed, " << f.after_persistence
+        << " kept after filtering, " << report.iotps.size() << " IOTPs\n\n";
+  }
+  print_class_table(out, report.global, csv);
+
+  if (!csv) {
+    out << '\n';
+    util::TextTable per_as({"AS", "IOTPs", "Mono-LSP", "Multi-FEC",
+                            "Mono-FEC", "Unclass.", "dynamic"});
+    for (const auto& [asn, counts] : report.per_as) {
+      const double t = static_cast<double>(counts.total());
+      auto pct = [&](std::uint64_t n) {
+        return t > 0 ? util::TextTable::fmt(n / t, 2) : std::string("-");
+      };
+      const auto dyn = report.dynamic_as.find(asn);
+      per_as.add_row({"AS" + std::to_string(asn),
+                      util::TextTable::fmt_int(static_cast<std::int64_t>(
+                          counts.total())),
+                      pct(counts.mono_lsp), pct(counts.multi_fec),
+                      pct(counts.mono_fec), pct(counts.unclassified),
+                      dyn != report.dynamic_as.end() && dyn->second ? "yes"
+                                                                    : ""});
+    }
+    out << per_as;
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------------
+// trees
+// ----------------------------------------------------------------------
+
+int run_trees(Args& args, std::ostream& out, std::ostream& err) {
+  auto data = load_inputs(args, err, /*need_ip2as=*/true);
+  if (!data) return 2;
+
+  // Same filtering as classify, without Persistence when only one file.
+  dataset::MonthData month;
+  month.snapshots = std::move(data->snapshots);
+  const auto extracted =
+      lpr::extract_lsps(month.snapshots.front(), data->ip2as);
+  std::vector<lpr::ExtractedSnapshot> following;
+  for (std::size_t i = 1; i < month.snapshots.size(); ++i) {
+    following.push_back(lpr::extract_lsps(month.snapshots[i], data->ip2as));
+  }
+  lpr::FilterConfig filter;
+  filter.enable_persistence = !following.empty();
+  const auto filtered = lpr::apply_filters(extracted, following, filter);
+
+  const auto trees = lpr::build_egress_trees(filtered.observations);
+  const auto stats = lpr::summarize(trees);
+  out << stats.trees << " egress-rooted trees over " << stats.branches_total
+      << " branches\n";
+  util::TextTable table({"tree class", "count"});
+  table.add_row({"Single-Branch", util::TextTable::fmt_int(
+                                      static_cast<std::int64_t>(
+                                          stats.single_branch))});
+  table.add_row({"LDP-Consistent", util::TextTable::fmt_int(
+                                       static_cast<std::int64_t>(
+                                           stats.ldp_consistent))});
+  table.add_row({"Multi-FEC", util::TextTable::fmt_int(
+                                  static_cast<std::int64_t>(
+                                      stats.multi_fec))});
+  out << table;
+  return 0;
+}
+
+// ----------------------------------------------------------------------
+// stats
+// ----------------------------------------------------------------------
+
+int run_stats(Args& args, std::ostream& out, std::ostream& err) {
+  auto data = load_inputs(args, err, /*need_ip2as=*/false);
+  if (!data) return 2;
+
+  util::TextTable table({"snapshot", "traces", "w/ tunnel", "share",
+                         "LSPs", "incomplete"});
+  for (const auto& snap : data->snapshots) {
+    dataset::Ip2As empty;
+    const auto extracted = lpr::extract_lsps(snap, empty);
+    const auto& s = extracted.stats;
+    table.add_row(
+        {snap.date + "#" + std::to_string(snap.sub_index),
+         util::TextTable::fmt_int(static_cast<std::int64_t>(s.traces_total)),
+         util::TextTable::fmt_int(static_cast<std::int64_t>(
+             s.traces_with_explicit_tunnel)),
+         s.traces_total
+             ? util::TextTable::fmt(
+                   static_cast<double>(s.traces_with_explicit_tunnel) /
+                       static_cast<double>(s.traces_total),
+                   3)
+             : "-",
+         util::TextTable::fmt_int(static_cast<std::int64_t>(
+             s.lsps_observed)),
+         util::TextTable::fmt_int(static_cast<std::int64_t>(
+             s.lsps_incomplete))});
+  }
+  out << table;
+  return 0;
+}
+
+// ----------------------------------------------------------------------
+// dispatch
+// ----------------------------------------------------------------------
+
+std::string usage() {
+  return
+      "mum — MPLS tunnel classification (LPR) toolkit\n"
+      "\n"
+      "usage: mum <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  generate  --out DIR [--cycle N] [--seed S] [--snapshots K]\n"
+      "            [--small]      synthesize an Archipelago-style month\n"
+      "  classify  --ip2as FILE SNAP [SNAP...] [--j N] [--alias]\n"
+      "            [--router-level] [--csv] [--json | --json-iotps]\n"
+      "                           run LPR (filters + Algorithm 1)\n"
+      "  trees     --ip2as FILE SNAP [SNAP...]\n"
+      "                           egress-rooted LSP-tree analysis (Sec. 5)\n"
+      "  stats     SNAP [SNAP...] dataset-level statistics\n";
+}
+
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err) {
+  if (argc < 2) {
+    err << usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Args args(argc - 2, argv + 2);
+
+  int code;
+  if (command == "generate") {
+    code = run_generate(args, out, err);
+  } else if (command == "classify") {
+    code = run_classify(args, out, err);
+  } else if (command == "trees") {
+    code = run_trees(args, out, err);
+  } else if (command == "stats") {
+    code = run_stats(args, out, err);
+  } else if (command == "--help" || command == "help") {
+    out << usage();
+    return 0;
+  } else {
+    err << "unknown command '" << command << "'\n" << usage();
+    return 2;
+  }
+  if (code == 0) {
+    if (const auto unknown = args.unknown_flag()) {
+      err << "warning: ignored unknown flag " << *unknown << '\n';
+    }
+  }
+  return code;
+}
+
+}  // namespace mum::cli

@@ -1,0 +1,59 @@
+// mum command-line tool — library half (unit-testable; `main.cpp` is a thin
+// dispatcher). Subcommands operate on warts-lite snapshot files plus a
+// pfx2as-style IP2AS table, the workflow a user with archived campaigns
+// follows:
+//
+//   mum generate  --out DIR [--cycle N] [--seed S] [--snapshots K] [--small]
+//   mum classify  --ip2as FILE SNAP [SNAP...]   [--j N] [--alias] [--csv]
+//   mum trees     --ip2as FILE SNAP [SNAP...]
+//   mum stats     SNAP [SNAP...]
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mum::cli {
+
+// Minimal flag parser: "--name value", "--flag", positionals.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+  explicit Args(std::vector<std::string> tokens);
+
+  // Value flag; nullopt when absent. Consumes the flag.
+  std::optional<std::string> take_value(const std::string& name);
+  // Boolean flag; false when absent. Consumes the flag.
+  bool take_flag(const std::string& name);
+  // Integer value flag with default; sets `error` on malformed input.
+  long take_int(const std::string& name, long def);
+
+  // Remaining positional arguments (call after all take_* calls).
+  std::vector<std::string> positionals() const;
+  // First unconsumed "--" token, if any (unknown-flag detection).
+  std::optional<std::string> unknown_flag() const;
+
+  bool ok() const noexcept { return error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<bool> consumed_;
+  std::string error_;
+};
+
+// Subcommands: return a process exit code; all output through out/err.
+int run_generate(Args& args, std::ostream& out, std::ostream& err);
+int run_classify(Args& args, std::ostream& out, std::ostream& err);
+int run_trees(Args& args, std::ostream& out, std::ostream& err);
+int run_stats(Args& args, std::ostream& out, std::ostream& err);
+
+// Top-level dispatch (what main() calls).
+int run(int argc, const char* const* argv, std::ostream& out,
+        std::ostream& err);
+
+// Usage text.
+std::string usage();
+
+}  // namespace mum::cli

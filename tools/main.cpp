@@ -1,0 +1,8 @@
+// mum CLI entry point (see cli.h for the command set).
+#include <iostream>
+
+#include "cli.h"
+
+int main(int argc, char** argv) {
+  return mum::cli::run(argc, argv, std::cout, std::cerr);
+}
