@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frr.dir/ablation_frr.cpp.o"
+  "CMakeFiles/ablation_frr.dir/ablation_frr.cpp.o.d"
+  "ablation_frr"
+  "ablation_frr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_router_level.dir/ablation_router_level.cpp.o"
+  "CMakeFiles/ablation_router_level.dir/ablation_router_level.cpp.o.d"
+  "ablation_router_level"
+  "ablation_router_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_router_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

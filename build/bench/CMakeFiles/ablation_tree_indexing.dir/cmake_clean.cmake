@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_indexing.dir/ablation_tree_indexing.cpp.o"
+  "CMakeFiles/ablation_tree_indexing.dir/ablation_tree_indexing.cpp.o.d"
+  "ablation_tree_indexing"
+  "ablation_tree_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

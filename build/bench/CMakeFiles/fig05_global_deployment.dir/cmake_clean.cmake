@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_global_deployment.dir/fig05_global_deployment.cpp.o"
+  "CMakeFiles/fig05_global_deployment.dir/fig05_global_deployment.cpp.o.d"
+  "fig05_global_deployment"
+  "fig05_global_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_global_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

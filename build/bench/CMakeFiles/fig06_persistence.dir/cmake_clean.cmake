@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_persistence.dir/fig06_persistence.cpp.o"
+  "CMakeFiles/fig06_persistence.dir/fig06_persistence.cpp.o.d"
+  "fig06_persistence"
+  "fig06_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

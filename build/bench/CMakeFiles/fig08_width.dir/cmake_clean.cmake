@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_width.dir/fig08_width.cpp.o"
+  "CMakeFiles/fig08_width.dir/fig08_width.cpp.o.d"
+  "fig08_width"
+  "fig08_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_symmetry.dir/fig09_symmetry.cpp.o"
+  "CMakeFiles/fig09_symmetry.dir/fig09_symmetry.cpp.o.d"
+  "fig09_symmetry"
+  "fig09_symmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_symmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_as1273.dir/fig10_as1273.cpp.o"
+  "CMakeFiles/fig10_as1273.dir/fig10_as1273.cpp.o.d"
+  "fig10_as1273"
+  "fig10_as1273.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_as1273.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

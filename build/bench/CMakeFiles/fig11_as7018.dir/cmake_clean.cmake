@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_as7018.dir/fig11_as7018.cpp.o"
+  "CMakeFiles/fig11_as7018.dir/fig11_as7018.cpp.o.d"
+  "fig11_as7018"
+  "fig11_as7018.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_as7018.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_as6453.dir/fig12_as6453.cpp.o"
+  "CMakeFiles/fig12_as6453.dir/fig12_as6453.cpp.o.d"
+  "fig12_as6453"
+  "fig12_as6453.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_as6453.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

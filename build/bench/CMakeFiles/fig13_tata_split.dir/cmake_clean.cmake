@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tata_split.dir/fig13_tata_split.cpp.o"
+  "CMakeFiles/fig13_tata_split.dir/fig13_tata_split.cpp.o.d"
+  "fig13_tata_split"
+  "fig13_tata_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tata_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

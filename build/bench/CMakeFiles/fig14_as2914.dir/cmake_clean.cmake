@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_as2914.dir/fig14_as2914.cpp.o"
+  "CMakeFiles/fig14_as2914.dir/fig14_as2914.cpp.o.d"
+  "fig14_as2914"
+  "fig14_as2914.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_as2914.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_as3356.dir/fig15_as3356.cpp.o"
+  "CMakeFiles/fig15_as3356.dir/fig15_as3356.cpp.o.d"
+  "fig15_as3356"
+  "fig15_as3356.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_as3356.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

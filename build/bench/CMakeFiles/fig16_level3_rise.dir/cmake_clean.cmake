@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_level3_rise.dir/fig16_level3_rise.cpp.o"
+  "CMakeFiles/fig16_level3_rise.dir/fig16_level3_rise.cpp.o.d"
+  "fig16_level3_rise"
+  "fig16_level3_rise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_level3_rise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_level3_rise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_label_dynamics.dir/fig17_label_dynamics.cpp.o"
+  "CMakeFiles/fig17_label_dynamics.dir/fig17_label_dynamics.cpp.o.d"
+  "fig17_label_dynamics"
+  "fig17_label_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_label_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lpr.dir/micro_lpr.cpp.o"
+  "CMakeFiles/micro_lpr.dir/micro_lpr.cpp.o.d"
+  "micro_lpr"
+  "micro_lpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

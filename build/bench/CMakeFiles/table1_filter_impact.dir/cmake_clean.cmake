@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_filter_impact.dir/table1_filter_impact.cpp.o"
+  "CMakeFiles/table1_filter_impact.dir/table1_filter_impact.cpp.o.d"
+  "table1_filter_impact"
+  "table1_filter_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_filter_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as_evolution.dir/as_evolution.cpp.o"
+  "CMakeFiles/as_evolution.dir/as_evolution.cpp.o.d"
+  "as_evolution"
+  "as_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_cycle.dir/inspect_cycle.cpp.o"
+  "CMakeFiles/inspect_cycle.dir/inspect_cycle.cpp.o.d"
+  "inspect_cycle"
+  "inspect_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

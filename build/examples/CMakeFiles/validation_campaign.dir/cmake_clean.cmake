@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_campaign.dir/validation_campaign.cpp.o"
+  "CMakeFiles/validation_campaign.dir/validation_campaign.cpp.o.d"
+  "validation_campaign"
+  "validation_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

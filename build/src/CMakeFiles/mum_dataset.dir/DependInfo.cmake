@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/ip2as.cpp" "src/CMakeFiles/mum_dataset.dir/dataset/ip2as.cpp.o" "gcc" "src/CMakeFiles/mum_dataset.dir/dataset/ip2as.cpp.o.d"
+  "/root/repo/src/dataset/trace.cpp" "src/CMakeFiles/mum_dataset.dir/dataset/trace.cpp.o" "gcc" "src/CMakeFiles/mum_dataset.dir/dataset/trace.cpp.o.d"
+  "/root/repo/src/dataset/warts_lite.cpp" "src/CMakeFiles/mum_dataset.dir/dataset/warts_lite.cpp.o" "gcc" "src/CMakeFiles/mum_dataset.dir/dataset/warts_lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mum_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_icmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

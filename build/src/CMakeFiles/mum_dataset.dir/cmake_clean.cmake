@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_dataset.dir/dataset/ip2as.cpp.o"
+  "CMakeFiles/mum_dataset.dir/dataset/ip2as.cpp.o.d"
+  "CMakeFiles/mum_dataset.dir/dataset/trace.cpp.o"
+  "CMakeFiles/mum_dataset.dir/dataset/trace.cpp.o.d"
+  "CMakeFiles/mum_dataset.dir/dataset/warts_lite.cpp.o"
+  "CMakeFiles/mum_dataset.dir/dataset/warts_lite.cpp.o.d"
+  "libmum_dataset.a"
+  "libmum_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_gen.dir/gen/as_graph.cpp.o"
+  "CMakeFiles/mum_gen.dir/gen/as_graph.cpp.o.d"
+  "CMakeFiles/mum_gen.dir/gen/campaign.cpp.o"
+  "CMakeFiles/mum_gen.dir/gen/campaign.cpp.o.d"
+  "CMakeFiles/mum_gen.dir/gen/internet.cpp.o"
+  "CMakeFiles/mum_gen.dir/gen/internet.cpp.o.d"
+  "CMakeFiles/mum_gen.dir/gen/profiles.cpp.o"
+  "CMakeFiles/mum_gen.dir/gen/profiles.cpp.o.d"
+  "libmum_gen.a"
+  "libmum_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_icmp.dir/icmp/icmp.cpp.o"
+  "CMakeFiles/mum_icmp.dir/icmp/icmp.cpp.o.d"
+  "libmum_icmp.a"
+  "libmum_icmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_icmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_igp.dir/igp/spf.cpp.o"
+  "CMakeFiles/mum_igp.dir/igp/spf.cpp.o.d"
+  "libmum_igp.a"
+  "libmum_igp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_igp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

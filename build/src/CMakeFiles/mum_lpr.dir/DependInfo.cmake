@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alias.cpp" "src/CMakeFiles/mum_lpr.dir/core/alias.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/alias.cpp.o.d"
+  "/root/repo/src/core/classify.cpp" "src/CMakeFiles/mum_lpr.dir/core/classify.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/classify.cpp.o.d"
+  "/root/repo/src/core/extract.cpp" "src/CMakeFiles/mum_lpr.dir/core/extract.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/extract.cpp.o.d"
+  "/root/repo/src/core/filters.cpp" "src/CMakeFiles/mum_lpr.dir/core/filters.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/filters.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/mum_lpr.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/CMakeFiles/mum_lpr.dir/core/model.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/model.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/mum_lpr.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/CMakeFiles/mum_lpr.dir/core/report_json.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/report_json.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/CMakeFiles/mum_lpr.dir/core/tree.cpp.o" "gcc" "src/CMakeFiles/mum_lpr.dir/core/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mum_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_icmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_lpr.dir/core/alias.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/alias.cpp.o.d"
+  "CMakeFiles/mum_lpr.dir/core/classify.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/classify.cpp.o.d"
+  "CMakeFiles/mum_lpr.dir/core/extract.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/extract.cpp.o.d"
+  "CMakeFiles/mum_lpr.dir/core/filters.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/filters.cpp.o.d"
+  "CMakeFiles/mum_lpr.dir/core/metrics.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/mum_lpr.dir/core/model.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/model.cpp.o.d"
+  "CMakeFiles/mum_lpr.dir/core/report.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/report.cpp.o.d"
+  "CMakeFiles/mum_lpr.dir/core/report_json.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/report_json.cpp.o.d"
+  "CMakeFiles/mum_lpr.dir/core/tree.cpp.o"
+  "CMakeFiles/mum_lpr.dir/core/tree.cpp.o.d"
+  "libmum_lpr.a"
+  "libmum_lpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_lpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

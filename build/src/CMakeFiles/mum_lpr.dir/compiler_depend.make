@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mum_lpr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_mpls.dir/mpls/label_pool.cpp.o"
+  "CMakeFiles/mum_mpls.dir/mpls/label_pool.cpp.o.d"
+  "CMakeFiles/mum_mpls.dir/mpls/ldp.cpp.o"
+  "CMakeFiles/mum_mpls.dir/mpls/ldp.cpp.o.d"
+  "CMakeFiles/mum_mpls.dir/mpls/rsvp.cpp.o"
+  "CMakeFiles/mum_mpls.dir/mpls/rsvp.cpp.o.d"
+  "libmum_mpls.a"
+  "libmum_mpls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_mpls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/mum_net.dir/net/ipv4.cpp.o.d"
+  "CMakeFiles/mum_net.dir/net/lse.cpp.o"
+  "CMakeFiles/mum_net.dir/net/lse.cpp.o.d"
+  "libmum_net.a"
+  "libmum_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_probe.dir/probe/forwarder.cpp.o"
+  "CMakeFiles/mum_probe.dir/probe/forwarder.cpp.o.d"
+  "CMakeFiles/mum_probe.dir/probe/mda.cpp.o"
+  "CMakeFiles/mum_probe.dir/probe/mda.cpp.o.d"
+  "CMakeFiles/mum_probe.dir/probe/traceroute.cpp.o"
+  "CMakeFiles/mum_probe.dir/probe/traceroute.cpp.o.d"
+  "libmum_probe.a"
+  "libmum_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_topo.dir/topo/builder.cpp.o"
+  "CMakeFiles/mum_topo.dir/topo/builder.cpp.o.d"
+  "CMakeFiles/mum_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/mum_topo.dir/topo/topology.cpp.o.d"
+  "libmum_topo.a"
+  "libmum_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

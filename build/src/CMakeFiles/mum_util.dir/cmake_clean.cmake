@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_util.dir/util/json.cpp.o"
+  "CMakeFiles/mum_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/mum_util.dir/util/rng.cpp.o"
+  "CMakeFiles/mum_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/mum_util.dir/util/stats.cpp.o"
+  "CMakeFiles/mum_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/mum_util.dir/util/strings.cpp.o"
+  "CMakeFiles/mum_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/mum_util.dir/util/table.cpp.o"
+  "CMakeFiles/mum_util.dir/util/table.cpp.o.d"
+  "libmum_util.a"
+  "libmum_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

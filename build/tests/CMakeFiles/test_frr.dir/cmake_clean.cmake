@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frr.dir/test_frr.cpp.o"
+  "CMakeFiles/test_frr.dir/test_frr.cpp.o.d"
+  "test_frr"
+  "test_frr.pdb"
+  "test_frr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldp_over_te.dir/test_ldp_over_te.cpp.o"
+  "CMakeFiles/test_ldp_over_te.dir/test_ldp_over_te.cpp.o.d"
+  "test_ldp_over_te"
+  "test_ldp_over_te.pdb"
+  "test_ldp_over_te[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldp_over_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lse.dir/test_lse.cpp.o"
+  "CMakeFiles/test_lse.dir/test_lse.cpp.o.d"
+  "test_lse"
+  "test_lse.pdb"
+  "test_lse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mda.dir/test_mda.cpp.o"
+  "CMakeFiles/test_mda.dir/test_mda.cpp.o.d"
+  "test_mda"
+  "test_mda.pdb"
+  "test_mda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radix_trie.dir/test_radix_trie.cpp.o"
+  "CMakeFiles/test_radix_trie.dir/test_radix_trie.cpp.o.d"
+  "test_radix_trie"
+  "test_radix_trie.pdb"
+  "test_radix_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radix_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spf.dir/test_spf.cpp.o"
+  "CMakeFiles/test_spf.dir/test_spf.cpp.o.d"
+  "test_spf"
+  "test_spf.pdb"
+  "test_spf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

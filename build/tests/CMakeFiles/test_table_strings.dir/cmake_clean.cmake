@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_strings.dir/test_table_strings.cpp.o"
+  "CMakeFiles/test_table_strings.dir/test_table_strings.cpp.o.d"
+  "test_table_strings"
+  "test_table_strings.pdb"
+  "test_table_strings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

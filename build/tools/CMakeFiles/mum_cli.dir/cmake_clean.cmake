@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_cli.dir/cli.cpp.o"
+  "CMakeFiles/mum_cli.dir/cli.cpp.o.d"
+  "libmum_cli.a"
+  "libmum_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_tool.dir/main.cpp.o"
+  "CMakeFiles/mum_tool.dir/main.cpp.o.d"
+  "mum"
+  "mum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
