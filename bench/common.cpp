@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "gen/profiles.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -9,41 +10,11 @@ namespace mum::bench {
 
 StudyConfig default_study() {
   StudyConfig config;
-  // Defaults in GenConfig/CampaignConfig/PipelineConfig are the paper
-  // configuration (j = 2, full fleet); nothing to override here. Kept as a
-  // function so ablation benches can start from the canonical point.
+  // Defaults in RunnerConfig (and the GenConfig/CampaignConfig/
+  // PipelineConfig it holds) are the paper configuration (j = 2, full
+  // fleet, one thread per hardware thread); nothing to override here. Kept
+  // as a function so ablation benches can start from the canonical point.
   return config;
-}
-
-Study::Study(const StudyConfig& config)
-    : config_(config),
-      internet_(config.gen),
-      ip2as_(internet_.build_ip2as()) {}
-
-dataset::MonthData Study::month_data(int cycle) const {
-  gen::CampaignConfig campaign = config_.campaign;
-  const auto dip = config_.fleet_share_by_cycle.find(cycle);
-  if (dip != config_.fleet_share_by_cycle.end()) {
-    campaign.monitor_share *= dip->second;
-  }
-  return gen::generate_month(internet_, ip2as_, cycle, campaign);
-}
-
-lpr::CycleReport Study::run_cycle(int cycle) const {
-  return lpr::run_pipeline(month_data(cycle), ip2as_, config_.pipeline);
-}
-
-lpr::LongitudinalReport Study::run_all(std::ostream* progress) const {
-  lpr::LongitudinalReport report;
-  for (int cycle = config_.first_cycle; cycle <= config_.last_cycle;
-       ++cycle) {
-    report.cycles.push_back(run_cycle(cycle));
-    if (progress != nullptr && (cycle + 1) % 12 == 0) {
-      *progress << "  ... processed cycle " << cycle + 1 << " ("
-                << gen::cycle_date(cycle) << ")\n";
-    }
-  }
-  return report;
 }
 
 std::string class_shares_line(const lpr::ClassCounts& counts) {

@@ -1,59 +1,28 @@
-// Shared harness for the paper-reproduction benches: builds the synthetic
-// internet once, runs probing months through the LPR pipeline, and provides
-// the table/series printers every fig*/table* binary uses.
+// Shared harness for the paper-reproduction benches. The heavy lifting
+// (internet construction, month generation, the LPR pipeline, longitudinal
+// sweeps) lives in the library-level Runner API (run/runner.h); this header
+// is a thin adapter keeping the historical Study/StudyConfig names alive for
+// the fig*/table* binaries, plus the table/series printers they share.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
-#include <map>
 #include <string>
-#include <vector>
 
-#include "core/report.h"
-#include "gen/campaign.h"
-#include "gen/internet.h"
+#include "run/runner.h"
 #include "util/stats.h"
 
 namespace mum::bench {
 
-struct StudyConfig {
-  gen::GenConfig gen;
-  gen::CampaignConfig campaign;
-  lpr::PipelineConfig pipeline;
-  int first_cycle = 0;
-  int last_cycle = gen::kCycles - 1;  // inclusive
-  // Fleet-size anomalies per (0-based) cycle: the paper's dataset shows two
-  // dips "caused by measurement issues in the Archipelago infrastructure"
-  // at cycles 23 and 58 (1-based) — modelled as a reduced monitor share.
-  std::map<int, double> fleet_share_by_cycle = {{22, 0.55}, {57, 0.6}};
-};
+// The old bench-private Study grew into run::Runner; these aliases keep the
+// 18 bench binaries (and out-of-tree scripts patterned on them) compiling.
+using StudyConfig = run::RunnerConfig;
+using Study = run::Runner;
 
 // The standard configuration all paper benches share (the "dataset" of this
-// reproduction). Deterministic: same seed => same numbers.
+// reproduction). Deterministic: same seed => same numbers, at any thread
+// count.
 StudyConfig default_study();
-
-class Study {
- public:
-  explicit Study(const StudyConfig& config);
-
-  const StudyConfig& config() const noexcept { return config_; }
-  const gen::Internet& internet() const noexcept { return internet_; }
-  const dataset::Ip2As& ip2as() const noexcept { return ip2as_; }
-
-  // Generate one month of data and run the LPR pipeline on it.
-  lpr::CycleReport run_cycle(int cycle) const;
-  // Month data only (for benches that sweep pipeline configs over fixed
-  // data, like the Fig. 6 persistence sweep).
-  dataset::MonthData month_data(int cycle) const;
-
-  // Run the whole configured cycle range.
-  lpr::LongitudinalReport run_all(std::ostream* progress = nullptr) const;
-
- private:
-  StudyConfig config_;
-  gen::Internet internet_;
-  dataset::Ip2As ip2as_;
-};
 
 // --- printers -----------------------------------------------------------
 

@@ -26,9 +26,9 @@ int main() {
             << " daily snapshots of December 2014\n"
             << "(generating daily campaigns...)\n\n";
 
-  const auto snapshots = gen::generate_daily_month(
-      study.internet(), study.ip2as(), december_2014, kDays,
-      config.campaign);
+  const auto snapshots =
+      gen::CampaignRunner(study.internet(), study.ip2as(), config.campaign)
+          .daily_month(december_2014, kDays);
 
   // Extract once; sweep filter configurations over the fixed data.
   std::vector<lpr::ExtractedSnapshot> extracted;

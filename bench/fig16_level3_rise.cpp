@@ -27,9 +27,9 @@ int main() {
   std::cout << "Fig. 16 — AS3356 (Level3) daily deployment, April 2012\n"
             << "(generating " << kDays << " daily campaigns...)\n\n";
 
-  const auto days = gen::generate_daily_month(study.internet(),
-                                              study.ip2as(), april_2012,
-                                              kDays, config.campaign);
+  const auto days =
+      gen::CampaignRunner(study.internet(), study.ip2as(), config.campaign)
+          .daily_month(april_2012, kDays);
 
   lpr::PipelineConfig pipeline;
   pipeline.filter.enable_persistence = false;

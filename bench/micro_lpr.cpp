@@ -12,6 +12,7 @@
 #include "igp/spf.h"
 #include "net/radix_trie.h"
 #include "probe/forwarder.h"
+#include "run/runner.h"
 #include "topo/builder.h"
 #include "util/rng.h"
 
@@ -140,8 +141,9 @@ void BM_FullPipelineMonth(benchmark::State& state) {
   config.dests_per_monitor = 120;
   const gen::Internet internet(config);
   const auto ip2as = internet.build_ip2as();
+  const gen::CampaignRunner campaign(internet, ip2as);
   for (auto _ : state) {
-    const auto month = gen::generate_month(internet, ip2as, 50, {});
+    const auto month = campaign.month(50);
     const auto report = lpr::run_pipeline(month, ip2as, {});
     benchmark::DoNotOptimize(report.global.total());
   }
@@ -158,7 +160,7 @@ void BM_ExtractLsps(benchmark::State& state) {
   const auto ip2as = internet.build_ip2as();
   auto ctx = internet.instantiate(50);
   const auto snap =
-      gen::generate_snapshot(internet, ctx, ip2as, 50, 0, {});
+      gen::CampaignRunner(internet, ip2as).snapshot(ctx, 50, 0);
   for (auto _ : state) {
     benchmark::DoNotOptimize(lpr::extract_lsps(snap, ip2as));
   }
@@ -166,6 +168,30 @@ void BM_ExtractLsps(benchmark::State& state) {
                           static_cast<std::int64_t>(snap.trace_count()));
 }
 BENCHMARK(BM_ExtractLsps)->Unit(benchmark::kMillisecond);
+
+// Thread scaling of the parallel execution layer: one paper-sized month
+// generated + classified at 1/2/4/8 threads. Output is bit-identical across
+// the arg values (the determinism gate in tests/test_parallel.cpp); this
+// bench measures the wall-clock side of that contract.
+void BM_MonthCycleThreads(benchmark::State& state) {
+  run::RunnerConfig config;
+  config.gen.background_transit = 10;
+  config.gen.stub_ases = 14;
+  config.gen.monitors = 8;
+  config.gen.dests_per_monitor = 240;
+  config.threads = static_cast<int>(state.range(0));
+  const run::Runner runner(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_cycle(50).global.total());
+  }
+  state.SetLabel(std::to_string(runner.threads()) + " threads");
+}
+BENCHMARK(BM_MonthCycleThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_run.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mum_lpr.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mum_gen.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/mum_probe.dir/DependInfo.cmake"

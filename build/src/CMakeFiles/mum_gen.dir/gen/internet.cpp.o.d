@@ -214,13 +214,15 @@ src/CMakeFiles/mum_gen.dir/gen/internet.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/lse.h \
  /root/repo/src/net/radix_trie.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/gen/as_graph.h /root/repo/src/gen/profiles.h \
+ /root/repo/src/gen/as_graph.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gen/profiles.h \
  /root/repo/src/topo/builder.h /root/repo/src/topo/topology.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/limits \
- /usr/include/c++/12/span /root/repo/src/igp/spf.h \
- /root/repo/src/mpls/ldp.h /root/repo/src/mpls/label_pool.h \
- /root/repo/src/mpls/rsvp.h /root/repo/src/probe/forwarder.h \
- /root/repo/src/probe/traceroute.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/span \
+ /root/repo/src/igp/spf.h /root/repo/src/mpls/ldp.h \
+ /root/repo/src/mpls/label_pool.h /root/repo/src/mpls/rsvp.h \
+ /root/repo/src/probe/forwarder.h /root/repo/src/probe/traceroute.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

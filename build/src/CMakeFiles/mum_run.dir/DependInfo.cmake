@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/run/runner.cpp" "src/CMakeFiles/mum_run.dir/run/runner.cpp.o" "gcc" "src/CMakeFiles/mum_run.dir/run/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mum_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_lpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_mpls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_igp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_icmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mum_run.dir/run/runner.cpp.o"
+  "CMakeFiles/mum_run.dir/run/runner.cpp.o.d"
+  "libmum_run.a"
+  "libmum_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mum_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmum_run.a"
+)

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mum_util.dir/util/strings.cpp.o.d"
   "CMakeFiles/mum_util.dir/util/table.cpp.o"
   "CMakeFiles/mum_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/mum_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/mum_util.dir/util/thread_pool.cpp.o.d"
   "libmum_util.a"
   "libmum_util.pdb"
 )

@@ -298,9 +298,19 @@ tests/CMakeFiles/test_alias.dir/test_alias.cpp.o: \
  /root/repo/src/core/filters.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/gen/campaign.h \
  /root/repo/src/gen/internet.h /root/repo/src/gen/as_graph.h \
- /root/repo/src/gen/profiles.h /root/repo/src/topo/builder.h \
- /root/repo/src/topo/topology.h /root/repo/src/util/rng.h \
- /usr/include/c++/12/span /root/repo/src/igp/spf.h \
- /root/repo/src/mpls/ldp.h /root/repo/src/mpls/label_pool.h \
- /root/repo/src/mpls/rsvp.h /root/repo/src/probe/forwarder.h \
- /root/repo/src/probe/traceroute.h
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/gen/profiles.h \
+ /root/repo/src/topo/builder.h /root/repo/src/topo/topology.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/span \
+ /root/repo/src/igp/spf.h /root/repo/src/mpls/ldp.h \
+ /root/repo/src/mpls/label_pool.h /root/repo/src/mpls/rsvp.h \
+ /root/repo/src/probe/forwarder.h /root/repo/src/probe/traceroute.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread

@@ -214,13 +214,16 @@ tests/CMakeFiles/test_internet.dir/test_internet.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/net/lse.h \
  /root/repo/src/net/radix_trie.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/gen/as_graph.h /root/repo/src/gen/profiles.h \
+ /root/repo/src/gen/as_graph.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/gen/profiles.h \
  /root/repo/src/topo/builder.h /root/repo/src/topo/topology.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/limits \
- /usr/include/c++/12/span /root/repo/src/igp/spf.h \
- /root/repo/src/mpls/ldp.h /root/repo/src/mpls/label_pool.h \
- /root/repo/src/mpls/rsvp.h /root/repo/src/probe/forwarder.h \
- /root/repo/src/probe/traceroute.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/util/rng.h /usr/include/c++/12/span \
+ /root/repo/src/igp/spf.h /root/repo/src/mpls/ldp.h \
+ /root/repo/src/mpls/label_pool.h /root/repo/src/mpls/rsvp.h \
+ /root/repo/src/probe/forwarder.h /root/repo/src/probe/traceroute.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -241,7 +244,7 @@ tests/CMakeFiles/test_internet.dir/test_internet.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -250,7 +253,6 @@ tests/CMakeFiles/test_internet.dir/test_internet.cpp.o: \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \
  /usr/include/regex.h /usr/include/c++/12/any /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/x86_64-linux-gnu/sys/wait.h /usr/include/signal.h \
  /usr/include/x86_64-linux-gnu/bits/signum-generic.h \
  /usr/include/x86_64-linux-gnu/bits/signum-arch.h \
@@ -299,4 +301,13 @@ tests/CMakeFiles/test_internet.dir/test_internet.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/gen/campaign.h
+ /root/repo/src/gen/campaign.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread

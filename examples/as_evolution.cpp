@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   util::TextTable table({"cycle", "date", "IOTPs", "Mono-LSP", "Multi-FEC",
                          "Mono-FEC", "Unclass.", "dyn", ""});
   for (int cycle = 0; cycle < gen::kCycles; cycle += step) {
-    const auto month = gen::generate_month(internet, ip2as, cycle, {});
+    const auto month = gen::CampaignRunner(internet, ip2as).month(cycle);
     const auto report = lpr::run_pipeline(month, ip2as, {});
     const auto counts = report.as_counts(asn);
     const double total = static_cast<double>(counts.total());

@@ -29,8 +29,8 @@ int main(int argc, char** argv) {
   gen::Internet internet(config);
   const dataset::Ip2As ip2as = internet.build_ip2as();
   const int cycle = gen::cycle_of(2013, 6);
-  const dataset::MonthData month = gen::generate_month(internet, ip2as,
-                                                       cycle, {});
+  const dataset::MonthData month =
+      gen::CampaignRunner(internet, ip2as).month(cycle);
 
   // 2. Persist every snapshot as a warts-lite file.
   std::vector<fs::path> files;

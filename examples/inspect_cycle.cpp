@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   gen::Internet internet(config);
   const dataset::Ip2As ip2as = internet.build_ip2as();
   const dataset::MonthData month =
-      gen::generate_month(internet, ip2as, cycle, {});
+      gen::CampaignRunner(internet, ip2as).month(cycle);
   const lpr::CycleReport report = lpr::run_pipeline(month, ip2as, {});
 
   std::cout << "=== Cycle " << cycle + 1 << " (" << report.date << ") ===\n";

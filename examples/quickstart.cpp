@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   std::cout << "Probing cycle " << cycle + 1 << " (" << gen::cycle_date(cycle)
             << ") with " << internet.monitors().size() << " monitors...\n";
   const dataset::MonthData month =
-      gen::generate_month(internet, ip2as, cycle, campaign);
+      gen::CampaignRunner(internet, ip2as, campaign).month(cycle);
   std::cout << "  " << month.cycle().trace_count() << " traces per snapshot, "
             << month.snapshots.size() << " snapshots\n";
 

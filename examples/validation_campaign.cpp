@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const dataset::Ip2As ip2as = internet.build_ip2as();
 
   // 1. Passive pass: classify the cycle with LPR.
-  const auto month = gen::generate_month(internet, ip2as, cycle, {});
+  const auto month = gen::CampaignRunner(internet, ip2as).month(cycle);
   const lpr::CycleReport report = lpr::run_pipeline(month, ip2as, {});
   std::cout << "LPR classified " << report.iotps.size() << " IOTPs on cycle "
             << cycle + 1 << "; launching the MDA validation campaign...\n\n";

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over the
+# parallel execution layer (tests/test_parallel) to catch data races the
+# functional tests cannot.
+#
+# Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+tsan_build="${2:-$repo/build-tsan}"
+
+echo "== tier-1: build + ctest ($build) =="
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j
+ctest --test-dir "$build" --output-on-failure -j
+
+echo "== tier-1: TSan pass over test_parallel ($tsan_build) =="
+cmake -B "$tsan_build" -S "$repo" -DMUM_TSAN=ON
+# Only the one target — a full TSan tree is slow and adds nothing here.
+cmake --build "$tsan_build" -j --target test_parallel
+"$tsan_build/tests/test_parallel"
+
+echo "== tier-1: OK =="

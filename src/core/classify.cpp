@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 namespace mum::lpr {
 
 namespace {
@@ -66,6 +68,16 @@ void ClassCounts::add(const IotpRecord& rec) noexcept {
       break;
     case TunnelClass::kUnclassified: ++unclassified; break;
   }
+}
+
+ClassCounts& ClassCounts::merge(const ClassCounts& other) noexcept {
+  mono_lsp += other.mono_lsp;
+  multi_fec += other.multi_fec;
+  mono_fec += other.mono_fec;
+  unclassified += other.unclassified;
+  parallel_links += other.parallel_links;
+  routers_disjoint += other.routers_disjoint;
+  return *this;
 }
 
 std::set<net::Ipv4Addr> common_ips(const IotpRecord& rec) {
@@ -151,6 +163,31 @@ ClassCounts classify_all(std::vector<IotpRecord>& records,
     classify_iotp(rec, config);
     counts.add(rec);
   }
+  return counts;
+}
+
+ClassCounts classify_all(std::vector<IotpRecord>& records,
+                         const ClassifyConfig& config,
+                         util::ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || records.size() < 2) {
+    return classify_all(records, config);
+  }
+  // Fixed shards, one partial ClassCounts each, merged in shard order.
+  const std::size_t shards =
+      std::min<std::size_t>(records.size(),
+                            static_cast<std::size_t>(pool->size()) * 4);
+  const std::size_t per = (records.size() + shards - 1) / shards;
+  std::vector<ClassCounts> partial(shards);
+  pool->for_each_index(shards, [&](std::size_t s) {
+    const std::size_t begin = s * per;
+    const std::size_t end = std::min(records.size(), begin + per);
+    for (std::size_t i = begin; i < end; ++i) {
+      classify_iotp(records[i], config);
+      partial[s].add(records[i]);
+    }
+  });
+  ClassCounts counts;
+  for (const ClassCounts& p : partial) counts.merge(p);
   return counts;
 }
 

@@ -23,6 +23,10 @@
 
 #include "core/model.h"
 
+namespace mum::util {
+class ThreadPool;
+}
+
 namespace mum::lpr {
 
 struct ClassifyConfig {
@@ -45,6 +49,8 @@ struct ClassCounts {
     return mono_lsp + multi_fec + mono_fec + unclassified;
   }
   void add(const IotpRecord& rec) noexcept;
+  // Deterministic accumulation of a worker's partial counts (plain sums).
+  ClassCounts& merge(const ClassCounts& other) noexcept;
 };
 
 // The common-IP set of an IOTP: addresses of LSRs traversed by at least two
@@ -62,5 +68,12 @@ void classify_iotp(IotpRecord& rec, const ClassifyConfig& config = {});
 // Classify a whole cycle's IOTPs; returns aggregate counts.
 ClassCounts classify_all(std::vector<IotpRecord>& records,
                          const ClassifyConfig& config = {});
+
+// Same, sharding the records across `pool` workers (each IOTP classifies
+// independently); per-shard counts merge in shard order, so the result is
+// identical to the serial run. Null pool falls back to serial.
+ClassCounts classify_all(std::vector<IotpRecord>& records,
+                         const ClassifyConfig& config,
+                         util::ThreadPool* pool);
 
 }  // namespace mum::lpr

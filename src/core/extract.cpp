@@ -37,6 +37,16 @@ bool run_is_intra_as(const std::vector<dataset::TraceHop>& hops,
 
 }  // namespace
 
+ExtractStats& ExtractStats::merge(const ExtractStats& other) noexcept {
+  traces_total += other.traces_total;
+  traces_with_explicit_tunnel += other.traces_with_explicit_tunnel;
+  lsps_observed += other.lsps_observed;
+  lsps_incomplete += other.lsps_incomplete;
+  mpls_ips += other.mpls_ips;
+  non_mpls_ips += other.non_mpls_ips;
+  return *this;
+}
+
 ExtractedSnapshot extract_lsps(const dataset::Snapshot& snapshot,
                                const dataset::Ip2As& ip2as) {
   ExtractedSnapshot out;

@@ -34,6 +34,11 @@ struct ExtractStats {
   // an address is "MPLS" when it ever appears inside a labeled run.
   std::uint64_t mpls_ips = 0;
   std::uint64_t non_mpls_ips = 0;
+
+  // Deterministic accumulation across workers / snapshots: every counter is
+  // summed. Note the ip counters are unique *within* each operand only —
+  // merged totals over shards that may share addresses are upper bounds.
+  ExtractStats& merge(const ExtractStats& other) noexcept;
 };
 
 struct ExtractedSnapshot {

@@ -1,5 +1,9 @@
 #include "core/report.h"
 
+#include <ostream>
+
+#include "util/table.h"
+
 namespace mum::lpr {
 
 ClassCounts CycleReport::as_counts(std::uint32_t asn) const {
@@ -7,9 +11,73 @@ ClassCounts CycleReport::as_counts(std::uint32_t asn) const {
   return it == per_as.end() ? ClassCounts{} : it->second;
 }
 
+void write_class_table(std::ostream& os, const ClassCounts& counts,
+                       bool csv) {
+  util::TextTable table({"class", "IOTPs", "share"});
+  const double total = static_cast<double>(counts.total());
+  auto row = [&](const char* name, std::uint64_t n) {
+    table.add_row({name,
+                   util::TextTable::fmt_int(static_cast<std::int64_t>(n)),
+                   total > 0 ? util::TextTable::fmt(n / total, 3) : "-"});
+  };
+  row("Mono-LSP", counts.mono_lsp);
+  row("Multi-FEC", counts.multi_fec);
+  row("Mono-FEC", counts.mono_fec);
+  row("  parallel-links", counts.parallel_links);
+  row("  routers-disjoint", counts.routers_disjoint);
+  row("Unclassified", counts.unclassified);
+  os << (csv ? table.render_csv() : table.render());
+}
+
+void CycleReport::to_table(std::ostream& os) const {
+  os << "cycle " << cycle_id + 1 << " (" << date << "): "
+     << filter_stats.observed << " LSPs observed, "
+     << filter_stats.after_persistence << " kept after filtering, "
+     << iotps.size() << " IOTPs\n\n";
+  write_class_table(os, global);
+
+  os << '\n';
+  util::TextTable table({"AS", "IOTPs", "Mono-LSP", "Multi-FEC", "Mono-FEC",
+                         "Unclass.", "dynamic"});
+  for (const auto& [asn, counts] : per_as) {
+    const double t = static_cast<double>(counts.total());
+    auto pct = [&](std::uint64_t n) {
+      return t > 0 ? util::TextTable::fmt(n / t, 2) : std::string("-");
+    };
+    const auto dyn = dynamic_as.find(asn);
+    table.add_row({"AS" + std::to_string(asn),
+                   util::TextTable::fmt_int(static_cast<std::int64_t>(
+                       counts.total())),
+                   pct(counts.mono_lsp), pct(counts.multi_fec),
+                   pct(counts.mono_fec), pct(counts.unclassified),
+                   dyn != dynamic_as.end() && dyn->second ? "yes" : ""});
+  }
+  os << table;
+}
+
+void LongitudinalReport::to_table(std::ostream& os) const {
+  util::TextTable table({"cycle", "date", "IOTPs", "Mono-LSP", "Multi-FEC",
+                         "Mono-FEC", "Unclass."});
+  for (const CycleReport& cycle : cycles) {
+    const double total = static_cast<double>(cycle.global.total());
+    auto pct = [&](std::uint64_t n) {
+      return total > 0 ? util::TextTable::fmt(n / total, 2)
+                       : std::string("-");
+    };
+    table.add_row({std::to_string(cycle.cycle_id + 1), cycle.date,
+                   util::TextTable::fmt_int(static_cast<std::int64_t>(
+                       cycle.global.total())),
+                   pct(cycle.global.mono_lsp), pct(cycle.global.multi_fec),
+                   pct(cycle.global.mono_fec),
+                   pct(cycle.global.unclassified)});
+  }
+  os << table;
+}
+
 CycleReport run_pipeline(const ExtractedSnapshot& cycle,
                          const std::vector<ExtractedSnapshot>& following,
-                         const PipelineConfig& config) {
+                         const PipelineConfig& config,
+                         util::ThreadPool* pool) {
   CycleReport report;
   report.cycle_id = cycle.cycle_id;
   report.date = cycle.date;
@@ -19,7 +87,7 @@ CycleReport run_pipeline(const ExtractedSnapshot& cycle,
   report.filter_stats = filtered.stats;
 
   report.iotps = group_iotps(filtered.observations);
-  report.global = classify_all(report.iotps, config.classify);
+  report.global = classify_all(report.iotps, config.classify, pool);
 
   for (const IotpRecord& rec : report.iotps) {
     report.per_as[rec.key.asn].add(rec);
@@ -32,15 +100,19 @@ CycleReport run_pipeline(const ExtractedSnapshot& cycle,
 
 CycleReport run_pipeline(const dataset::MonthData& month,
                          const dataset::Ip2As& ip2as,
-                         const PipelineConfig& config) {
-  // Extract the cycle snapshot and every following snapshot of the month.
-  const ExtractedSnapshot cycle = extract_lsps(month.cycle(), ip2as);
-  std::vector<ExtractedSnapshot> following;
-  following.reserve(month.snapshots.size() - 1);
-  for (std::size_t i = 1; i < month.snapshots.size(); ++i) {
-    following.push_back(extract_lsps(month.snapshots[i], ip2as));
-  }
-  return run_pipeline(cycle, following, config);
+                         const PipelineConfig& config,
+                         util::ThreadPool* pool) {
+  // Extract the cycle snapshot and every following snapshot of the month —
+  // each snapshot extracts independently, so they fan out over the pool.
+  std::vector<ExtractedSnapshot> extracted(month.snapshots.size());
+  util::parallel_for(pool, month.snapshots.size(), [&](std::size_t i) {
+    extracted[i] = extract_lsps(month.snapshots[i], ip2as);
+  });
+  const ExtractedSnapshot cycle = std::move(extracted.front());
+  std::vector<ExtractedSnapshot> following(
+      std::make_move_iterator(extracted.begin() + 1),
+      std::make_move_iterator(extracted.end()));
+  return run_pipeline(cycle, following, config, pool);
 }
 
 std::vector<LongitudinalReport::AsSeriesPoint>

@@ -1,3 +1,5 @@
+// JSON half of the Report interface — the machine-readable counterpart of
+// the text tables, for external plotting of the paper's figures.
 #include "core/report_json.h"
 
 #include "util/json.h"
@@ -34,24 +36,24 @@ void write_per_as(util::JsonWriter& json, const CycleReport& report) {
 
 }  // namespace
 
-std::string to_json(const CycleReport& report, bool include_iotps) {
+std::string CycleReport::to_json(bool include_iotps) const {
   util::JsonWriter json;
   json.begin_object();
-  json.field("cycle", report.cycle_id + 1);  // 1-based, as the paper counts
-  json.field("date", report.date);
+  json.field("cycle", cycle_id + 1);  // 1-based, as the paper counts
+  json.field("date", date);
 
   json.key("extract");
   json.begin_object();
-  json.field("traces", report.extract_stats.traces_total);
+  json.field("traces", extract_stats.traces_total);
   json.field("traces_with_tunnel",
-             report.extract_stats.traces_with_explicit_tunnel);
-  json.field("mpls_ips", report.extract_stats.mpls_ips);
-  json.field("non_mpls_ips", report.extract_stats.non_mpls_ips);
+             extract_stats.traces_with_explicit_tunnel);
+  json.field("mpls_ips", extract_stats.mpls_ips);
+  json.field("non_mpls_ips", extract_stats.non_mpls_ips);
   json.end_object();
 
   json.key("filters");
   json.begin_object();
-  const auto& f = report.filter_stats;
+  const auto& f = filter_stats;
   json.field("observed", f.observed);
   json.field("complete", f.complete);
   json.field("after_intra_as", f.after_intra_as);
@@ -61,14 +63,14 @@ std::string to_json(const CycleReport& report, bool include_iotps) {
   json.end_object();
 
   json.key("global");
-  write_counts(json, report.global);
+  write_counts(json, global);
   json.key("per_as");
-  write_per_as(json, report);
+  write_per_as(json, *this);
 
   if (include_iotps) {
     json.key("iotps");
     json.begin_array();
-    for (const IotpRecord& rec : report.iotps) {
+    for (const IotpRecord& rec : iotps) {
       json.begin_object();
       json.field("asn", rec.key.asn);
       json.field("ingress", rec.key.ingress.to_string());
@@ -91,10 +93,10 @@ std::string to_json(const CycleReport& report, bool include_iotps) {
   return json.str();
 }
 
-std::string to_json(const LongitudinalReport& report) {
+std::string LongitudinalReport::to_json() const {
   util::JsonWriter json;
   json.begin_array();
-  for (const CycleReport& cycle : report.cycles) {
+  for (const CycleReport& cycle : cycles) {
     json.begin_object();
     json.field("cycle", cycle.cycle_id + 1);
     json.field("date", cycle.date);
@@ -106,6 +108,14 @@ std::string to_json(const LongitudinalReport& report) {
   }
   json.end_array();
   return json.str();
+}
+
+std::string to_json(const CycleReport& report, bool include_iotps) {
+  return report.to_json(include_iotps);
+}
+
+std::string to_json(const LongitudinalReport& report) {
+  return report.to_json();
 }
 
 }  // namespace mum::lpr

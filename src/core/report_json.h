@@ -1,5 +1,6 @@
-// JSON export of LPR reports — the machine-readable counterpart of the
-// text tables, for external plotting of the paper's figures.
+// Deprecated shim: JSON export moved onto the Report interface
+// (CycleReport::to_json / LongitudinalReport::to_json in core/report.h).
+// These free functions forward there and will be removed next PR.
 #pragma once
 
 #include <string>
@@ -8,12 +9,10 @@
 
 namespace mum::lpr {
 
-// One cycle: extract/filter stats, global class counts, per-AS breakdown
-// and (optionally) the classified IOTP records with their metrics.
+[[deprecated("use CycleReport::to_json")]]
 std::string to_json(const CycleReport& report, bool include_iotps = false);
 
-// Longitudinal series: an array of per-cycle summaries (global + per-AS
-// class counts) — enough to redraw Figs. 10-15.
+[[deprecated("use LongitudinalReport::to_json")]]
 std::string to_json(const LongitudinalReport& report);
 
 }  // namespace mum::lpr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <mutex>
 
 namespace mum::gen {
 
@@ -33,8 +34,13 @@ bool AsGraph::contains(std::uint32_t asn) const {
 }
 
 const AsGraph::DestTables& AsGraph::tables_for(std::uint32_t dst) const {
-  const auto cached = cache_.find(dst);
-  if (cached != cache_.end()) return cached->second;
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    const auto cached = cache_.find(dst);
+    if (cached != cache_.end()) return cached->second;
+  }
+  // Compute outside the lock: concurrent misses on the same destination
+  // redundantly compute identical tables; try_emplace keeps the first.
 
   const std::size_t n = nodes_.size();
   DestTables t;
@@ -92,7 +98,8 @@ const AsGraph::DestTables& AsGraph::tables_for(std::uint32_t dst) const {
     }
   }
 
-  return cache_.emplace(dst, std::move(t)).first->second;
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  return cache_.try_emplace(dst, std::move(t)).first->second;
 }
 
 std::vector<std::uint32_t> AsGraph::route(std::uint32_t src,

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,22 @@ struct AsNode {
 
 class AsGraph {
  public:
+  AsGraph() = default;
+  // Movable despite the cache mutex: moving is a mutation, so it must not
+  // race with concurrent route() calls anyway — the mutex itself stays put.
+  AsGraph(AsGraph&& other) noexcept
+      : nodes_(std::move(other.nodes_)),
+        order_(std::move(other.order_)),
+        index_(std::move(other.index_)),
+        cache_(std::move(other.cache_)) {}
+  AsGraph& operator=(AsGraph&& other) noexcept {
+    nodes_ = std::move(other.nodes_);
+    order_ = std::move(other.order_);
+    index_ = std::move(other.index_);
+    cache_ = std::move(other.cache_);
+    return *this;
+  }
+
   // Adds a node; ASN must be unique.
   void add_as(AsNode node);
   // Relationship edges (no duplicate checking; caller ensures sanity).
@@ -42,7 +59,9 @@ class AsGraph {
 
   // Valley-free AS path from src to dst (inclusive); empty when unreachable.
   // Preference: customer route > peer route > provider route, then shortest,
-  // then lowest-ASN tie-break — memoized per destination.
+  // then lowest-ASN tie-break — memoized per destination. Safe to call
+  // concurrently (the memo cache is lock-guarded); mutation via add_* must
+  // not race with route().
   std::vector<std::uint32_t> route(std::uint32_t src, std::uint32_t dst) const;
 
   // True when every AS can reach every other AS.
@@ -63,6 +82,7 @@ class AsGraph {
   std::vector<AsNode> nodes_;
   std::vector<std::uint32_t> order_;
   std::unordered_map<std::uint32_t, std::size_t> index_;
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::uint32_t, DestTables> cache_;
 };
 

@@ -4,11 +4,23 @@
 
 namespace mum::gen {
 
-dataset::Snapshot generate_snapshot(const Internet& internet,
-                                    MonthContext& ctx,
-                                    const dataset::Ip2As& ip2as, int cycle,
-                                    int sub_index,
-                                    const CampaignConfig& config) {
+CampaignRunner::CampaignRunner(const Internet& internet,
+                               const dataset::Ip2As& ip2as,
+                               CampaignConfig config, util::ThreadPool* pool)
+    : internet_(&internet),
+      ip2as_(&ip2as),
+      config_(std::move(config)),
+      pool_(pool) {}
+
+dataset::Snapshot CampaignRunner::snapshot(MonthContext& ctx, int cycle,
+                                           int sub_index) const {
+  return snapshot(ctx, cycle, sub_index, config_);
+}
+
+dataset::Snapshot CampaignRunner::snapshot(
+    MonthContext& ctx, int cycle, int sub_index,
+    const CampaignConfig& config) const {
+  const Internet& internet = *internet_;
   dataset::Snapshot snap;
   snap.cycle_id = static_cast<std::uint32_t>(cycle);
   snap.sub_index = static_cast<std::uint32_t>(sub_index);
@@ -22,19 +34,26 @@ dataset::Snapshot generate_snapshot(const Internet& internet,
       1, static_cast<std::size_t>(
              static_cast<double>(monitors.size()) * config.monitor_share));
 
-  // Observation noise stream: deterministic per (seed, cycle, sub_index).
-  util::Rng rng(util::hash_combine(
+  // Observation-noise seed lineage: (seed, cycle, sub_index). Each monitor
+  // forks its own stream below, so monitors can run in any order — or in
+  // parallel — without perturbing each other's draws.
+  const util::Rng noise_base(util::hash_combine(
       internet.config().seed,
       util::hash_combine(0xABCDull + cycle, sub_index)));
 
   const int per_monitor = internet.config().dests_per_monitor;
   const int overlap = std::max(1, internet.config().dest_overlap);
+
   // Ark-style split of the destination list across the fleet, with overlap:
   // destination d is probed by the `overlap` monitors following d % N
   // (stable across snapshots, so the Persistence filter compares like with
-  // like).
-  for (std::size_t mi = 0; mi < n_monitors; ++mi) {
+  // like). Each monitor writes its own trace block; blocks are concatenated
+  // in monitor order so the merged snapshot is identical to a serial run.
+  std::vector<std::vector<dataset::Trace>> blocks(n_monitors);
+  util::parallel_for(pool_, n_monitors, [&](std::size_t mi) {
     const probe::Monitor& monitor = monitors[mi];
+    util::Rng rng = noise_base.fork(mi);
+    std::vector<dataset::Trace>& out = blocks[mi];
     int probed = 0;
     for (int o = 0; o < overlap && probed < per_monitor; ++o) {
       const std::size_t lane =
@@ -51,20 +70,26 @@ dataset::Snapshot generate_snapshot(const Internet& internet,
                                     static_cast<std::uint32_t>(pp) * 128);
           const auto path = internet.path_spec(monitor, dest, ctx);
           if (!path) continue;
-          snap.traces.push_back(
+          out.push_back(
               probe::trace_route(monitor, *path, config.trace, rng));
         }
       }
     }
+  });
+
+  std::size_t total = 0;
+  for (const auto& block : blocks) total += block.size();
+  snap.traces.reserve(total);
+  for (auto& block : blocks) {
+    for (auto& trace : block) snap.traces.push_back(std::move(trace));
   }
 
-  ip2as.annotate(snap.traces);
+  ip2as_->annotate(snap.traces);
   return snap;
 }
 
-dataset::MonthData generate_month(const Internet& internet,
-                                  const dataset::Ip2As& ip2as, int cycle,
-                                  const CampaignConfig& config) {
+dataset::MonthData CampaignRunner::month(int cycle) const {
+  const Internet& internet = *internet_;
   dataset::MonthData month;
   month.cycle_id = static_cast<std::uint32_t>(cycle);
   month.date = cycle_date(cycle);
@@ -72,17 +97,16 @@ dataset::MonthData generate_month(const Internet& internet,
   MonthContext ctx = internet.instantiate(cycle);
   util::Rng dyn_rng(util::hash_combine(internet.config().seed,
                                        0xD1Aull + cycle));
-  for (int s = 0; s <= config.extra_snapshots; ++s) {
+  for (int s = 0; s <= config_.extra_snapshots; ++s) {
     if (s > 0) ctx.advance_dynamics(dyn_rng);
-    month.snapshots.push_back(
-        generate_snapshot(internet, ctx, ip2as, cycle, s, config));
+    month.snapshots.push_back(snapshot(ctx, cycle, s));
   }
   return month;
 }
 
-std::vector<dataset::Snapshot> generate_daily_month(
-    const Internet& internet, const dataset::Ip2As& ip2as, int cycle,
-    int days, const CampaignConfig& config) {
+std::vector<dataset::Snapshot> CampaignRunner::daily_month(int cycle,
+                                                           int days) const {
+  const Internet& internet = *internet_;
   std::vector<dataset::Snapshot> out;
   out.reserve(static_cast<std::size_t>(days));
   util::Rng dyn_rng(util::hash_combine(internet.config().seed,
@@ -92,7 +116,7 @@ std::vector<dataset::Snapshot> generate_daily_month(
     MonthContext ctx = internet.instantiate(cycle, day);
     if (day > 1) ctx.advance_dynamics(dyn_rng);
 
-    CampaignConfig day_config = config;
+    CampaignConfig day_config = config_;
     // Fleet-size wobble (the paper notes "the number of considered
     // Archipelago vantage points differs from one day to another").
     const double wobble =
@@ -100,15 +124,35 @@ std::vector<dataset::Snapshot> generate_daily_month(
                          util::hash_combine(cycle, day)) %
                      1000) /
                      999.0);
-    day_config.monitor_share = config.monitor_share * wobble;
+    day_config.monitor_share = config_.monitor_share * wobble;
 
-    dataset::Snapshot snap = generate_snapshot(internet, ctx, ip2as, cycle,
-                                               day - 1, day_config);
+    dataset::Snapshot snap = snapshot(ctx, cycle, day - 1, day_config);
     snap.date = cycle_date(cycle) + (day < 10 ? "-0" : "-") +
                 std::to_string(day);
     out.push_back(std::move(snap));
   }
   return out;
+}
+
+dataset::Snapshot generate_snapshot(const Internet& internet,
+                                    MonthContext& ctx,
+                                    const dataset::Ip2As& ip2as, int cycle,
+                                    int sub_index,
+                                    const CampaignConfig& config) {
+  return CampaignRunner(internet, ip2as, config)
+      .snapshot(ctx, cycle, sub_index);
+}
+
+dataset::MonthData generate_month(const Internet& internet,
+                                  const dataset::Ip2As& ip2as, int cycle,
+                                  const CampaignConfig& config) {
+  return CampaignRunner(internet, ip2as, config).month(cycle);
+}
+
+std::vector<dataset::Snapshot> generate_daily_month(
+    const Internet& internet, const dataset::Ip2As& ip2as, int cycle,
+    int days, const CampaignConfig& config) {
+  return CampaignRunner(internet, ip2as, config).daily_month(cycle, days);
 }
 
 }  // namespace mum::gen

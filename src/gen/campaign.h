@@ -6,6 +6,13 @@
 // with routing flaps applied between runs and TE label dynamics advanced for
 // dynamic-label ASes. Daily generation (Fig. 16) exposes day-of-month so
 // profile ramps and fleet-size variation can play out.
+//
+// CampaignRunner is the entry point: it holds the campaign configuration
+// once and generates snapshots with the monitor fleet fanned out over an
+// optional thread pool. Determinism contract: every monitor draws its
+// observation noise from an RNG stream keyed by (seed, cycle, sub_index,
+// monitor), and per-monitor trace blocks are concatenated in monitor order —
+// so output is bit-identical no matter how many threads execute it.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 
 #include "dataset/trace.h"
 #include "gen/internet.h"
+#include "util/thread_pool.h"
 
 namespace mum::gen {
 
@@ -23,23 +31,59 @@ struct CampaignConfig {
   double monitor_share = 1.0;
 };
 
-// One snapshot at (cycle, day). `ctx` must come from internet.instantiate();
-// flaps for `sub_index` are applied inside. Traces are ip2as-annotated.
+class CampaignRunner {
+ public:
+  // References (not copies) the internet and ip2as table; both must outlive
+  // the runner. `pool` is optional shared parallelism — null means serial.
+  CampaignRunner(const Internet& internet, const dataset::Ip2As& ip2as,
+                 CampaignConfig config = {},
+                 util::ThreadPool* pool = nullptr);
+
+  const CampaignConfig& config() const noexcept { return config_; }
+  const Internet& internet() const noexcept { return *internet_; }
+
+  // One snapshot at (cycle, sub_index). `ctx` must come from
+  // internet.instantiate(); flaps for `sub_index` are applied inside.
+  // Traces are ip2as-annotated.
+  dataset::Snapshot snapshot(MonthContext& ctx, int cycle,
+                             int sub_index) const;
+  // Same, with a per-call config override (daily fleet-size wobble).
+  dataset::Snapshot snapshot(MonthContext& ctx, int cycle, int sub_index,
+                             const CampaignConfig& config) const;
+
+  // Full month: cycle snapshot + extra snapshots, advancing label dynamics
+  // between runs.
+  dataset::MonthData month(int cycle) const;
+
+  // Daily data for one month (Fig. 16): `days` snapshots, profile evaluated
+  // at each day, fleet size wobbling deterministically around the configured
+  // share.
+  std::vector<dataset::Snapshot> daily_month(int cycle, int days) const;
+
+ private:
+  const Internet* internet_;
+  const dataset::Ip2As* ip2as_;
+  CampaignConfig config_;
+  util::ThreadPool* pool_;
+};
+
+// --- deprecated free-function shims -------------------------------------
+// The pre-CampaignRunner entry points, kept for one PR so out-of-tree
+// callers keep compiling. Each constructs a serial CampaignRunner per call.
+
+[[deprecated("use gen::CampaignRunner::snapshot")]]
 dataset::Snapshot generate_snapshot(const Internet& internet,
                                     MonthContext& ctx,
                                     const dataset::Ip2As& ip2as, int cycle,
                                     int sub_index,
                                     const CampaignConfig& config);
 
-// Full month: cycle snapshot + extra snapshots, advancing label dynamics
-// between runs.
+[[deprecated("use gen::CampaignRunner::month")]]
 dataset::MonthData generate_month(const Internet& internet,
                                   const dataset::Ip2As& ip2as, int cycle,
                                   const CampaignConfig& config);
 
-// Daily data for one month (Fig. 16): `days` snapshots, profile evaluated at
-// each day, fleet size wobbling deterministically around the configured
-// share.
+[[deprecated("use gen::CampaignRunner::daily_month")]]
 std::vector<dataset::Snapshot> generate_daily_month(
     const Internet& internet, const dataset::Ip2As& ip2as, int cycle,
     int days, const CampaignConfig& config);

@@ -1,0 +1,68 @@
+#include "run/runner.h"
+
+#include <mutex>
+#include <ostream>
+
+namespace mum::run {
+
+Runner::Runner(const RunnerConfig& config)
+    : config_(config),
+      internet_(config.gen),
+      ip2as_(internet_.build_ip2as()) {
+  const unsigned threads =
+      config_.threads <= 0 ? util::hardware_threads()
+                           : static_cast<unsigned>(config_.threads);
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+Runner::~Runner() = default;
+
+unsigned Runner::threads() const noexcept {
+  return pool_ ? pool_->size() : 1;
+}
+
+gen::CampaignConfig Runner::campaign_for(int cycle) const {
+  gen::CampaignConfig campaign = config_.campaign;
+  const auto dip = config_.fleet_share_by_cycle.find(cycle);
+  if (dip != config_.fleet_share_by_cycle.end()) {
+    campaign.monitor_share *= dip->second;
+  }
+  return campaign;
+}
+
+dataset::MonthData Runner::month_data(int cycle) const {
+  return gen::CampaignRunner(internet_, ip2as_, campaign_for(cycle),
+                             pool_.get())
+      .month(cycle);
+}
+
+lpr::CycleReport Runner::run_cycle(int cycle) const {
+  return lpr::run_pipeline(month_data(cycle), ip2as_, config_.pipeline,
+                           pool_.get());
+}
+
+lpr::LongitudinalReport Runner::run_all(std::ostream* progress) const {
+  const int first = config_.first_cycle;
+  const int last = config_.last_cycle;
+  const std::size_t n =
+      last >= first ? static_cast<std::size_t>(last - first + 1) : 0;
+
+  lpr::LongitudinalReport report;
+  report.cycles.resize(n);
+  std::mutex progress_mutex;
+  // Each cycle fills its own slot; inner generation/classification runs
+  // inline on the worker (nested parallel_for detects the region), so the
+  // pool is never oversubscribed.
+  util::parallel_for(pool_.get(), n, [&](std::size_t i) {
+    const int cycle = first + static_cast<int>(i);
+    report.cycles[i] = run_cycle(cycle);
+    if (progress != nullptr && (cycle + 1) % 12 == 0) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      *progress << "  ... processed cycle " << cycle + 1 << " ("
+                << gen::cycle_date(cycle) << ")\n";
+    }
+  });
+  return report;
+}
+
+}  // namespace mum::run

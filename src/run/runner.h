@@ -1,0 +1,78 @@
+// Campaign-level execution engine: the library's top entry point for paper
+// studies. A Runner builds the synthetic internet once from its config, then
+// runs monthly cycles through generation and the LPR pipeline — serially or
+// across a thread pool it owns.
+//
+// Promoted from bench/common's Study so the fig*/table* binaries, the CLI
+// and examples all share one API (bench::Study is now an alias of this).
+//
+// Determinism contract: all randomness derives from RNG streams keyed by
+// (seed, cycle, monitor)-style lineages, cycles are independent, and
+// per-worker results merge in index order — so `threads = N` produces
+// bit-identical reports to `threads = 1` for any N. Pick `threads` purely
+// for wall-clock: one per hardware thread (the default, threads = 0) is
+// right unless the machine is shared.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+
+#include "core/report.h"
+#include "gen/campaign.h"
+#include "gen/internet.h"
+#include "util/thread_pool.h"
+
+namespace mum::run {
+
+struct RunnerConfig {
+  gen::GenConfig gen;
+  gen::CampaignConfig campaign;
+  lpr::PipelineConfig pipeline;
+  int first_cycle = 0;
+  int last_cycle = gen::kCycles - 1;  // inclusive
+  // Fleet-size anomalies per (0-based) cycle: the paper's dataset shows two
+  // dips "caused by measurement issues in the Archipelago infrastructure"
+  // at cycles 23 and 58 (1-based) — modelled as a reduced monitor share.
+  std::map<int, double> fleet_share_by_cycle = {{22, 0.55}, {57, 0.6}};
+  // Worker threads for cycle- and monitor-level parallelism: 0 = one per
+  // hardware thread, 1 = fully serial. Output is identical either way.
+  int threads = 0;
+};
+
+class Runner {
+ public:
+  explicit Runner(const RunnerConfig& config);
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  const RunnerConfig& config() const noexcept { return config_; }
+  const gen::Internet& internet() const noexcept { return internet_; }
+  const dataset::Ip2As& ip2as() const noexcept { return ip2as_; }
+  // Effective thread count (config.threads resolved against hardware).
+  unsigned threads() const noexcept;
+
+  // Generate one month of data and run the LPR pipeline on it. Monitor
+  // fan-out and classification use the pool when threads > 1.
+  lpr::CycleReport run_cycle(int cycle) const;
+  // Month data only (for benches that sweep pipeline configs over fixed
+  // data, like the Fig. 6 persistence sweep).
+  dataset::MonthData month_data(int cycle) const;
+
+  // Run the whole configured cycle range; cycles execute in parallel when
+  // threads > 1 and merge in cycle order. Progress lines (one per 12 cycles)
+  // may interleave differently across thread counts; reports never do.
+  lpr::LongitudinalReport run_all(std::ostream* progress = nullptr) const;
+
+ private:
+  gen::CampaignConfig campaign_for(int cycle) const;
+
+  RunnerConfig config_;
+  gen::Internet internet_;
+  dataset::Ip2As ip2as_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads resolve to 1
+};
+
+}  // namespace mum::run

@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mum::util {
+
+namespace {
+
+// True while the current thread is executing loop indices; nested
+// for_each_index calls detect this and run inline.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::size_t workers_done = 0;   // guarded by pool mutex
+  std::exception_ptr error;       // first throw; guarded by pool mutex
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned total = std::max(1u, threads == 0 ? hardware_threads()
+                                                   : threads);
+  workers_.reserve(total - 1);
+  for (unsigned i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_job_.wait(lock, [&] { return stop_ || job_id_ != seen; });
+      if (stop_) return;
+      seen = job_id_;
+      job = job_;
+    }
+    run_indices(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (++job->workers_done == workers_.size()) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_indices(Job& job) noexcept {
+  tls_in_parallel_region = true;
+  for (;;) {
+    if (job.failed.load(std::memory_order_relaxed)) break;
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+      job.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+  tls_in_parallel_region = false;
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || tls_in_parallel_region) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++job_id_;
+  }
+  cv_job_.notify_all();
+
+  run_indices(job);  // the caller is a full participant
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] { return job.workers_done == workers_.size(); });
+  job_ = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->for_each_index(n, fn);
+}
+
+}  // namespace mum::util

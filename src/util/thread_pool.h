@@ -1,0 +1,72 @@
+// Deterministic fork/join parallelism for campaign-scale runs.
+//
+// The pool runs index-parallel loops (`for_each_index`): workers and the
+// calling thread claim indices from a shared counter, so scheduling is
+// dynamic but results stay deterministic as long as the body writes only to
+// per-index state (the pattern every caller in this repo follows: fill slot
+// `i`, merge slots in index order afterwards).
+//
+// There is no work stealing and no task graph — one blocking loop at a time,
+// submitted by one owner thread. Nested calls (a loop body that itself calls
+// `for_each_index` or `parallel_for`) execute inline on the current thread,
+// which keeps the pool deadlock-free and bounds total thread count at the
+// configured size.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mum::util {
+
+// Usable hardware threads; at least 1 (hardware_concurrency may report 0).
+unsigned hardware_threads() noexcept;
+
+class ThreadPool {
+ public:
+  // `threads` is the total number of threads that execute a loop, including
+  // the calling thread; 0 means one per hardware thread. A pool of size 1
+  // spawns no workers and runs everything inline.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Threads participating in a loop (workers + caller).
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  // Run fn(i) for every i in [0, n), blocking until all indices complete.
+  // The first exception thrown by any invocation is rethrown here (remaining
+  // indices are skipped once a throw is seen). Loops must be submitted by
+  // one thread at a time; re-entrant calls from inside `fn` run inline.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  void run_indices(Job& job) noexcept;
+
+  std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;            // guarded by mutex_
+  std::uint64_t job_id_ = 0;      // guarded by mutex_
+  bool stop_ = false;             // guarded by mutex_
+};
+
+// Convenience wrapper: runs the loop on `pool`, or inline when `pool` is
+// null, single-threaded, or the range is trivial.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mum::util

@@ -164,7 +164,7 @@ TEST(AliasEndToEnd, LabelInferencePrecisionHighOnSyntheticInternet) {
   gen::Internet internet(config);
   const auto ip2as = internet.build_ip2as();
   auto ctx = internet.instantiate(50);
-  const auto snap = gen::generate_snapshot(internet, ctx, ip2as, 50, 0, {});
+  const auto snap = gen::CampaignRunner(internet, ip2as).snapshot(ctx, 50, 0);
   const auto extracted = extract_lsps(snap, ip2as);
 
   const LabelAliasResolver resolver(extracted.observations, snap.traces);
@@ -195,7 +195,7 @@ TEST(AliasEndToEnd, RouterLevelReducesIotpCount) {
   config.dests_per_monitor = 250;
   gen::Internet internet(config);
   const auto ip2as = internet.build_ip2as();
-  const auto month = gen::generate_month(internet, ip2as, 50, {});
+  const auto month = gen::CampaignRunner(internet, ip2as).month(50);
   const auto extracted = extract_lsps(month.cycle(), ip2as);
   std::vector<ExtractedSnapshot> following;
   for (std::size_t i = 1; i < month.snapshots.size(); ++i) {

@@ -21,15 +21,18 @@ GenConfig small_config() {
 
 class CampaignTest : public ::testing::Test {
  protected:
-  CampaignTest() : internet(small_config()), ip2as(internet.build_ip2as()) {}
+  CampaignTest()
+      : internet(small_config()),
+        ip2as(internet.build_ip2as()),
+        runner(internet, ip2as) {}
   Internet internet;
   dataset::Ip2As ip2as;
+  CampaignRunner runner;
 };
 
 TEST_F(CampaignTest, SnapshotHasExpectedTraceVolume) {
   MonthContext ctx = internet.instantiate(50);
-  const auto snap =
-      generate_snapshot(internet, ctx, ip2as, 50, 0, CampaignConfig{});
+  const auto snap = runner.snapshot(ctx, 50, 0);
   // 4 monitors x 60 destination /24s x probes_per_dest addresses.
   EXPECT_EQ(snap.trace_count(),
             4u * 60u *
@@ -40,8 +43,7 @@ TEST_F(CampaignTest, SnapshotHasExpectedTraceVolume) {
 
 TEST_F(CampaignTest, TracesAreAnnotated) {
   MonthContext ctx = internet.instantiate(50);
-  const auto snap =
-      generate_snapshot(internet, ctx, ip2as, 50, 0, CampaignConfig{});
+  const auto snap = runner.snapshot(ctx, 50, 0);
   int annotated_hops = 0;
   for (const auto& t : snap.traces) {
     EXPECT_NE(t.dst_asn, 0u);
@@ -54,8 +56,7 @@ TEST_F(CampaignTest, TracesAreAnnotated) {
 
 TEST_F(CampaignTest, SomeTracesCrossExplicitTunnels) {
   MonthContext ctx = internet.instantiate(50);
-  const auto snap =
-      generate_snapshot(internet, ctx, ip2as, 50, 0, CampaignConfig{});
+  const auto snap = runner.snapshot(ctx, 50, 0);
   int tunneled = 0;
   for (const auto& t : snap.traces) {
     tunneled += t.crosses_explicit_tunnel() ? 1 : 0;
@@ -68,14 +69,14 @@ TEST_F(CampaignTest, MonitorShareReducesFleet) {
   MonthContext ctx = internet.instantiate(50);
   CampaignConfig half;
   half.monitor_share = 0.5;
-  const auto snap = generate_snapshot(internet, ctx, ip2as, 50, 0, half);
+  const auto snap = runner.snapshot(ctx, 50, 0, half);
   std::set<std::uint32_t> monitors;
   for (const auto& t : snap.traces) monitors.insert(t.monitor_id);
   EXPECT_EQ(monitors.size(), 2u);
 }
 
 TEST_F(CampaignTest, MonthHasCyclePlusExtras) {
-  const auto month = generate_month(internet, ip2as, 50, CampaignConfig{});
+  const auto month = runner.month(50);
   ASSERT_EQ(month.snapshots.size(), 3u);  // cycle + 2
   EXPECT_EQ(month.cycle().sub_index, 0u);
   EXPECT_EQ(month.snapshots[1].sub_index, 1u);
@@ -86,10 +87,10 @@ TEST_F(CampaignTest, MonthHasCyclePlusExtras) {
 }
 
 TEST_F(CampaignTest, CampaignDeterministicForSameSeed) {
-  const auto m1 = generate_month(internet, ip2as, 40, CampaignConfig{});
+  const auto m1 = runner.month(40);
   Internet other(small_config());
-  const auto m2 =
-      generate_month(other, other.build_ip2as(), 40, CampaignConfig{});
+  const auto other_ip2as = other.build_ip2as();
+  const auto m2 = CampaignRunner(other, other_ip2as).month(40);
   ASSERT_EQ(m1.cycle().trace_count(), m2.cycle().trace_count());
   for (std::size_t i = 0; i < m1.cycle().traces.size(); ++i) {
     const auto& a = m1.cycle().traces[i];
@@ -102,10 +103,28 @@ TEST_F(CampaignTest, CampaignDeterministicForSameSeed) {
   }
 }
 
+TEST_F(CampaignTest, DeprecatedWrappersMatchRunner) {
+  // The free-function shims stay for one release; they must forward to the
+  // runner without drift.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto via_wrapper = generate_month(internet, ip2as, 50,
+                                          CampaignConfig{});
+#pragma GCC diagnostic pop
+  const auto via_runner = runner.month(50);
+  ASSERT_EQ(via_wrapper.snapshots.size(), via_runner.snapshots.size());
+  ASSERT_EQ(via_wrapper.cycle().trace_count(),
+            via_runner.cycle().trace_count());
+  for (std::size_t i = 0; i < via_wrapper.cycle().traces.size(); ++i) {
+    EXPECT_EQ(via_wrapper.cycle().traces[i].hops.size(),
+              via_runner.cycle().traces[i].hops.size());
+  }
+}
+
 TEST_F(CampaignTest, MostLspContentPersistsAcrossSnapshots) {
   // The Persistence filter depends on high-but-not-total overlap between a
   // month's snapshots.
-  const auto month = generate_month(internet, ip2as, 50, CampaignConfig{});
+  const auto month = runner.month(50);
   const auto c0 = ::mum::lpr::extract_lsps(month.snapshots[0], ip2as);
   const auto c1 = ::mum::lpr::extract_lsps(month.snapshots[1], ip2as);
   const auto set1 = ::mum::lpr::lsp_content_set(c1);
@@ -123,7 +142,7 @@ TEST_F(CampaignTest, MostLspContentPersistsAcrossSnapshots) {
 }
 
 TEST_F(CampaignTest, VodafoneLabelsChurnBetweenSnapshots) {
-  const auto month = generate_month(internet, ip2as, 50, CampaignConfig{});
+  const auto month = runner.month(50);
   const auto c0 = ::mum::lpr::extract_lsps(month.snapshots[0], ip2as);
   const auto c1 = ::mum::lpr::extract_lsps(month.snapshots[1], ip2as);
   const auto set1 = ::mum::lpr::lsp_content_set(c1);
@@ -139,9 +158,7 @@ TEST_F(CampaignTest, VodafoneLabelsChurnBetweenSnapshots) {
 }
 
 TEST_F(CampaignTest, DailyMonthGeneratesPerDaySnapshots) {
-  const auto days =
-      generate_daily_month(internet, ip2as, cycle_of(2012, 4), 10,
-                           CampaignConfig{});
+  const auto days = runner.daily_month(cycle_of(2012, 4), 10);
   ASSERT_EQ(days.size(), 10u);
   EXPECT_EQ(days[0].date, "2012-04-01");
   EXPECT_EQ(days[9].date, "2012-04-10");
@@ -152,9 +169,7 @@ TEST_F(CampaignTest, DailyMonthGeneratesPerDaySnapshots) {
 }
 
 TEST_F(CampaignTest, Level3AppearsMidApril2012) {
-  const auto days =
-      generate_daily_month(internet, ip2as, cycle_of(2012, 4), 30,
-                           CampaignConfig{});
+  const auto days = runner.daily_month(cycle_of(2012, 4), 30);
   auto level3_lsps = [&](const dataset::Snapshot& snap) {
     const auto extracted = ::mum::lpr::extract_lsps(snap, ip2as);
     std::size_t n = 0;

@@ -223,7 +223,7 @@ TEST(MonthFailures, CampaignSurvivesHeavyFailures) {
   config.link_fail_prob = 0.5;
   gen::Internet internet(config);
   const auto ip2as = internet.build_ip2as();
-  const auto month = gen::generate_month(internet, ip2as, 50, {});
+  const auto month = gen::CampaignRunner(internet, ip2as).month(50);
   EXPECT_GT(month.cycle().trace_count(), 100u);
 }
 

@@ -32,7 +32,7 @@ class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {
       : internet(config_for(GetParam())),
         ip2as(internet.build_ip2as()),
         ctx(internet.instantiate(50)),
-        snapshot(gen::generate_snapshot(internet, ctx, ip2as, 50, 0, {})) {}
+        snapshot(gen::CampaignRunner(internet, ip2as).snapshot(ctx, 50, 0)) {}
 
   gen::Internet internet;
   dataset::Ip2As ip2as;

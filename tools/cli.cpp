@@ -7,7 +7,6 @@
 
 #include "core/alias.h"
 #include "core/report.h"
-#include "core/report_json.h"
 #include "core/tree.h"
 #include "dataset/warts_lite.h"
 #include "gen/campaign.h"
@@ -15,6 +14,7 @@
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace mum::cli {
 
@@ -154,22 +154,24 @@ std::optional<LoadedData> load_inputs(Args& args, std::ostream& err,
   return data;
 }
 
-void print_class_table(std::ostream& out, const lpr::ClassCounts& counts,
-                       bool csv) {
-  util::TextTable table({"class", "IOTPs", "share"});
-  const double total = static_cast<double>(counts.total());
-  auto row = [&](const char* name, std::uint64_t n) {
-    table.add_row({name,
-                   util::TextTable::fmt_int(static_cast<std::int64_t>(n)),
-                   total > 0 ? util::TextTable::fmt(n / total, 3) : "-"});
-  };
-  row("Mono-LSP", counts.mono_lsp);
-  row("Multi-FEC", counts.multi_fec);
-  row("Mono-FEC", counts.mono_fec);
-  row("  parallel-links", counts.parallel_links);
-  row("  routers-disjoint", counts.routers_disjoint);
-  row("Unclassified", counts.unclassified);
-  out << (csv ? table.render_csv() : table.render());
+// Unknown flags are an error for every subcommand (they used to be warned
+// about and silently ignored). Each subcommand calls this once all its known
+// flags have been consumed.
+bool reject_unknown(const Args& args, std::ostream& err) {
+  if (const auto unknown = args.unknown_flag()) {
+    err << "error: unknown flag " << *unknown << '\n';
+    return true;
+  }
+  return false;
+}
+
+// --threads N: 0 (default) = one per hardware thread, 1 = serial. Output is
+// identical at any thread count (the generation/classification layers merge
+// per-worker results deterministically).
+util::ThreadPool make_pool(Args& args) {
+  const long threads = args.take_int("--threads", 0);
+  return util::ThreadPool(threads <= 0 ? 0
+                                       : static_cast<unsigned>(threads));
 }
 
 }  // namespace
@@ -184,10 +186,12 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err) {
   const long seed = args.take_int("--seed", 20151028);
   const long snapshots = args.take_int("--snapshots", 3);
   const bool small = args.take_flag("--small");
+  util::ThreadPool pool = make_pool(args);
   if (!args.ok()) {
     err << args.error() << '\n';
     return 2;
   }
+  if (reject_unknown(args, err)) return 2;
   if (!out_dir) {
     err << "--out DIR is required\n";
     return 2;
@@ -210,9 +214,8 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err) {
 
   gen::CampaignConfig campaign;
   campaign.extra_snapshots = static_cast<int>(snapshots) - 1;
-  const auto month = gen::generate_month(internet, ip2as,
-                                         static_cast<int>(cycle) - 1,
-                                         campaign);
+  const auto month = gen::CampaignRunner(internet, ip2as, campaign, &pool)
+                         .month(static_cast<int>(cycle) - 1);
 
   fs::create_directories(*out_dir);
   for (const auto& snap : month.snapshots) {
@@ -248,11 +251,13 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
   const bool csv = args.take_flag("--csv");
   const bool json = args.take_flag("--json");
   const bool json_iotps = args.take_flag("--json-iotps");
+  util::ThreadPool pool = make_pool(args);
   auto data = load_inputs(args, err, /*need_ip2as=*/true);
   if (!args.ok()) {
     err << args.error() << '\n';
     return 2;
   }
+  if (reject_unknown(args, err)) return 2;
   if (!data) return 2;
 
   dataset::MonthData month;
@@ -265,7 +270,7 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
   pipeline.filter.enable_persistence = j > 0 && month.snapshots.size() > 1;
   pipeline.classify.alias_resolution_heuristic = alias;
   lpr::CycleReport report =
-      lpr::run_pipeline(month, data->ip2as, pipeline);
+      lpr::run_pipeline(month, data->ip2as, pipeline, &pool);
 
   if (router_level) {
     // Re-group at router granularity (Sec.-5 extension): passive alias
@@ -295,37 +300,14 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
   }
 
   if (json || json_iotps) {
-    out << lpr::to_json(report, json_iotps) << '\n';
+    out << report.to_json(json_iotps) << '\n';
     return 0;
   }
 
-  if (!csv) {
-    const auto& f = report.filter_stats;
-    out << "cycle " << report.cycle_id + 1 << " (" << report.date << "): "
-        << f.observed << " LSPs observed, " << f.after_persistence
-        << " kept after filtering, " << report.iotps.size() << " IOTPs\n\n";
-  }
-  print_class_table(out, report.global, csv);
-
-  if (!csv) {
-    out << '\n';
-    util::TextTable per_as({"AS", "IOTPs", "Mono-LSP", "Multi-FEC",
-                            "Mono-FEC", "Unclass.", "dynamic"});
-    for (const auto& [asn, counts] : report.per_as) {
-      const double t = static_cast<double>(counts.total());
-      auto pct = [&](std::uint64_t n) {
-        return t > 0 ? util::TextTable::fmt(n / t, 2) : std::string("-");
-      };
-      const auto dyn = report.dynamic_as.find(asn);
-      per_as.add_row({"AS" + std::to_string(asn),
-                      util::TextTable::fmt_int(static_cast<std::int64_t>(
-                          counts.total())),
-                      pct(counts.mono_lsp), pct(counts.multi_fec),
-                      pct(counts.mono_fec), pct(counts.unclassified),
-                      dyn != report.dynamic_as.end() && dyn->second ? "yes"
-                                                                    : ""});
-    }
-    out << per_as;
+  if (csv) {
+    lpr::write_class_table(out, report.global, /*csv=*/true);
+  } else {
+    report.to_table(out);
   }
   return 0;
 }
@@ -336,6 +318,7 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
 
 int run_trees(Args& args, std::ostream& out, std::ostream& err) {
   auto data = load_inputs(args, err, /*need_ip2as=*/true);
+  if (reject_unknown(args, err)) return 2;
   if (!data) return 2;
 
   // Same filtering as classify, without Persistence when only one file.
@@ -375,16 +358,14 @@ int run_trees(Args& args, std::ostream& out, std::ostream& err) {
 
 int run_stats(Args& args, std::ostream& out, std::ostream& err) {
   auto data = load_inputs(args, err, /*need_ip2as=*/false);
+  if (reject_unknown(args, err)) return 2;
   if (!data) return 2;
 
   util::TextTable table({"snapshot", "traces", "w/ tunnel", "share",
                          "LSPs", "incomplete"});
-  for (const auto& snap : data->snapshots) {
-    dataset::Ip2As empty;
-    const auto extracted = lpr::extract_lsps(snap, empty);
-    const auto& s = extracted.stats;
+  auto add_row = [&](const std::string& label, const lpr::ExtractStats& s) {
     table.add_row(
-        {snap.date + "#" + std::to_string(snap.sub_index),
+        {label,
          util::TextTable::fmt_int(static_cast<std::int64_t>(s.traces_total)),
          util::TextTable::fmt_int(static_cast<std::int64_t>(
              s.traces_with_explicit_tunnel)),
@@ -398,7 +379,16 @@ int run_stats(Args& args, std::ostream& out, std::ostream& err) {
              s.lsps_observed)),
          util::TextTable::fmt_int(static_cast<std::int64_t>(
              s.lsps_incomplete))});
+  };
+  lpr::ExtractStats total;
+  for (const auto& snap : data->snapshots) {
+    dataset::Ip2As empty;
+    const auto extracted = lpr::extract_lsps(snap, empty);
+    add_row(snap.date + "#" + std::to_string(snap.sub_index),
+            extracted.stats);
+    total.merge(extracted.stats);
   }
+  if (data->snapshots.size() > 1) add_row("total", total);
   out << table;
   return 0;
 }
@@ -415,13 +405,17 @@ std::string usage() {
       "\n"
       "commands:\n"
       "  generate  --out DIR [--cycle N] [--seed S] [--snapshots K]\n"
-      "            [--small]      synthesize an Archipelago-style month\n"
+      "            [--small] [--threads N]\n"
+      "                           synthesize an Archipelago-style month\n"
       "  classify  --ip2as FILE SNAP [SNAP...] [--j N] [--alias]\n"
       "            [--router-level] [--csv] [--json | --json-iotps]\n"
-      "                           run LPR (filters + Algorithm 1)\n"
+      "            [--threads N]  run LPR (filters + Algorithm 1)\n"
       "  trees     --ip2as FILE SNAP [SNAP...]\n"
       "                           egress-rooted LSP-tree analysis (Sec. 5)\n"
-      "  stats     SNAP [SNAP...] dataset-level statistics\n";
+      "  stats     SNAP [SNAP...] dataset-level statistics\n"
+      "\n"
+      "--threads 0 (the default) uses one thread per hardware thread; any\n"
+      "value produces identical output (deterministic parallelism).\n";
 }
 
 int run(int argc, const char* const* argv, std::ostream& out,
@@ -448,11 +442,6 @@ int run(int argc, const char* const* argv, std::ostream& out,
   } else {
     err << "unknown command '" << command << "'\n" << usage();
     return 2;
-  }
-  if (code == 0) {
-    if (const auto unknown = args.unknown_flag()) {
-      err << "warning: ignored unknown flag " << *unknown << '\n';
-    }
   }
   return code;
 }
