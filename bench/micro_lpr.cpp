@@ -3,6 +3,10 @@
 // DESIGN.md. These quantify throughput, not paper results.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/classify.h"
 #include "core/extract.h"
 #include "core/filters.h"
@@ -15,6 +19,7 @@
 #include "run/runner.h"
 #include "topo/builder.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -91,6 +96,54 @@ void BM_RadixTrieLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RadixTrieLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Largest case-study shape (AT&T: 14 core + 60 PoP routers, bundled links).
+// Same topology the pre-PR baseline in BENCH_PR4.json was measured on.
+topo::AsTopology att_topology() {
+  auto shape = gen::case_study_shape(gen::kAsnAtt);
+  shape.topo.asn = gen::kAsnAtt;
+  shape.topo.block = net::Ipv4Prefix(net::Ipv4Addr(16, 0, 0, 0), 15);
+  util::Rng rng(4);
+  return topo::build_as_topology(shape.topo, rng);
+}
+
+// All-pairs IGP route computation (flat RIBs, one-pass ECMP propagation).
+// Arg = thread count (1 = serial, no pool).
+void BM_IgpCompute(benchmark::State& state) {
+  const auto topo = att_topology();
+  const int threads = static_cast<int>(state.range(0));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(
+        static_cast<unsigned>(threads));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        igp::IgpState::compute(topo, nullptr, pool.get()));
+  }
+  state.SetLabel(std::to_string(topo.router_count()) + " routers, " +
+                 std::to_string(topo.link_count()) + " links, " +
+                 std::to_string(threads) + " thr");
+}
+BENCHMARK(BM_IgpCompute)->Arg(1)->Arg(4);
+
+// Incremental reconvergence around 2 failed links vs the full recompute the
+// simulator used to run per maintenance snapshot.
+void BM_IgpReconverge(benchmark::State& state) {
+  const auto topo = att_topology();
+  const auto baseline = igp::IgpState::compute(topo);
+  std::vector<bool> down(topo.link_count(), false);
+  down[3] = true;
+  down[topo.link_count() / 2] = true;
+  igp::IgpState::ReconvergeStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        igp::IgpState::reconverge(topo, baseline, down, nullptr, &stats));
+  }
+  state.SetLabel(std::to_string(stats.sources_recomputed) + "/" +
+                 std::to_string(stats.sources_total) + " sources recomputed");
+}
+BENCHMARK(BM_IgpReconverge);
 
 void BM_Spf(benchmark::State& state) {
   topo::BuildParams params;

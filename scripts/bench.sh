@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Micro-benchmark runner: builds bench/micro_lpr and writes a JSON report
+# (google-benchmark --benchmark_format=json) to BENCH_PR4.json at the repo
+# root, embedding the pre-PR IGP baselines so the speedup is auditable from
+# the artifact alone.
+#
+# The baselines were measured at commit 72d59fb (before the flat-RIB /
+# one-pass SPF rewrite) on the AT&T case-study shape (74 routers, 217 links,
+# Rng(4)) with the same timer loop BM_IgpCompute/BM_IgpReconverge use:
+#   compute    (all-pairs ECMP SPF): 2002143 ns/iter
+#   reconverge (2 links down, was a full recompute): 1971482 ns/iter
+#
+# Usage: scripts/bench.sh [build-dir] [benchmark-filter]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+filter="${2:-}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j --target micro_lpr
+
+args=(
+  --benchmark_format=json
+  --benchmark_out="$repo/BENCH_PR4.json"
+  --benchmark_out_format=json
+  --benchmark_context=baseline_igp_compute_ns=2002143
+  --benchmark_context=baseline_igp_reconverge_ns=1971482
+  --benchmark_context=baseline_commit=72d59fb
+)
+if [[ -n "$filter" ]]; then
+  args+=(--benchmark_filter="$filter")
+fi
+
+"$build/bench/micro_lpr" "${args[@]}"
+echo "wrote $repo/BENCH_PR4.json"

@@ -103,7 +103,7 @@ std::vector<IotpRecord> group_iotps(
     const IotpKey key{obs.lsp.asn, obs.lsp.ingress, obs.lsp.egress};
     IotpRecord& rec = groups[key];
     rec.key = key;
-    rec.dst_asns.insert(obs.dst_asn);
+    rec.dst_asns.push_back(obs.dst_asn);
     if (std::find(rec.variants.begin(), rec.variants.end(), obs.lsp) ==
         rec.variants.end()) {
       rec.variants.push_back(obs.lsp);
@@ -111,7 +111,14 @@ std::vector<IotpRecord> group_iotps(
   }
   std::vector<IotpRecord> out;
   out.reserve(groups.size());
-  for (auto& [key, rec] : groups) out.push_back(std::move(rec));
+  for (auto& [key, rec] : groups) {
+    // Normalize the appended destination list (sorted + deduplicated).
+    std::sort(rec.dst_asns.begin(), rec.dst_asns.end());
+    rec.dst_asns.erase(
+        std::unique(rec.dst_asns.begin(), rec.dst_asns.end()),
+        rec.dst_asns.end());
+    out.push_back(std::move(rec));
+  }
   // Deterministic order for reproducible reports.
   std::sort(out.begin(), out.end(), [](const IotpRecord& a,
                                        const IotpRecord& b) {

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -103,7 +102,10 @@ const char* to_cstring(MonoFecKind k) noexcept;
 struct IotpRecord {
   IotpKey key;
   std::vector<Lsp> variants;        // distinct LSPs (the branches)
-  std::set<std::uint32_t> dst_asns; // destination ASes reached through it
+  // Destination ASes reached through it — sorted, deduplicated. Kept as a
+  // flat vector (append during grouping, normalized once): the set is only
+  // ever built and iterated, never searched.
+  std::vector<std::uint32_t> dst_asns;
   TunnelClass tunnel_class = TunnelClass::kUnclassified;
   MonoFecKind mono_fec_kind = MonoFecKind::kNotApplicable;
   bool classified_by_alias_heuristic = false;  // Sec. 5 extension fired

@@ -94,7 +94,7 @@ dataset::MonthData CampaignRunner::month(int cycle) const {
   month.cycle_id = static_cast<std::uint32_t>(cycle);
   month.date = cycle_date(cycle);
 
-  MonthContext ctx = internet.instantiate(cycle);
+  MonthContext ctx = internet.instantiate(cycle, /*day_of_month=*/1, pool_);
   util::Rng dyn_rng(util::hash_combine(internet.config().seed,
                                        0xD1Aull + cycle));
   for (int s = 0; s <= config_.extra_snapshots; ++s) {
@@ -113,7 +113,7 @@ std::vector<dataset::Snapshot> CampaignRunner::daily_month(int cycle,
                                        0xDA1ull + cycle));
   for (int day = 1; day <= days; ++day) {
     // Deployment ramps are day-resolved, so re-instantiate per day.
-    MonthContext ctx = internet.instantiate(cycle, day);
+    MonthContext ctx = internet.instantiate(cycle, day, pool_);
     if (day > 1) ctx.advance_dynamics(dyn_rng);
 
     CampaignConfig day_config = config_;

@@ -122,7 +122,10 @@ void MonthContext::apply_flaps(int sub_index, double flap_prob) {
       }
     }
     if (any_down) {
-      planes->igp_now = igp::IgpState::compute(as->topo, &down);
+      // Incremental reconvergence: only sources whose shortest-path DAG
+      // crosses a downed link are recomputed; the rest reuse the base RIB.
+      planes->igp_now =
+          igp::IgpState::reconverge(as->topo, as->igp, down, pool_);
       planes->plane.igp = &*planes->igp_now;
       // RSVP-TE reconverges too. With fast reroute, a broken LSP switches
       // to its pre-signalled backup (labels stable); otherwise it is
@@ -163,10 +166,11 @@ void MonthContext::advance_dynamics(util::Rng& rng) {
 // Internet construction
 // ---------------------------------------------------------------------
 
-Internet::Internet(const GenConfig& config) : config_(config) {
+Internet::Internet(const GenConfig& config, util::ThreadPool* pool)
+    : config_(config) {
   util::Rng rng(config.seed);
   build_graph(rng);
-  build_topologies(rng);
+  build_topologies(rng, pool);
   place_monitors_and_destinations(rng);
 }
 
@@ -284,7 +288,7 @@ void Internet::build_graph(util::Rng& rng_in) {
   for (const std::uint32_t asn : tier1) ensure_stub_customers(asn, 3);
 }
 
-void Internet::build_topologies(util::Rng& rng_in) {
+void Internet::build_topologies(util::Rng& rng_in, util::ThreadPool* pool) {
   int background_index = 0;
   for (const std::uint32_t asn : graph_.asns()) {
     const AsNode& node = graph_.as_node(asn);
@@ -309,7 +313,7 @@ void Internet::build_topologies(util::Rng& rng_in) {
     shape.topo.router_response_prob = config_.router_response_prob;
 
     topo::AsTopology topo = topo::build_as_topology(shape.topo, rng);
-    igp::IgpState igp = igp::IgpState::compute(topo);
+    igp::IgpState igp = igp::IgpState::compute(topo, nullptr, pool);
     auto modeled =
         std::make_unique<ModeledAs>(std::move(shape), std::move(topo),
                                     std::move(igp));
@@ -459,10 +463,12 @@ dataset::Ip2As Internet::build_ip2as() const {
   return ip2as;
 }
 
-MonthContext Internet::instantiate(int cycle, int day_of_month) const {
+MonthContext Internet::instantiate(int cycle, int day_of_month,
+                                   util::ThreadPool* pool) const {
   MonthContext ctx;
   ctx.cycle_ = cycle;
   ctx.internet_ = this;
+  ctx.pool_ = pool;
   ctx.month_seed_ = util::hash_combine(config_.seed, 0xC1C7Eull + cycle);
 
   for (const auto& [asn, modeled] : modeled_) {

@@ -24,6 +24,7 @@
 #include "probe/traceroute.h"
 #include "topo/topology.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mum::gen {
 
@@ -122,11 +123,17 @@ class MonthContext {
   std::uint64_t month_seed_ = 0;
   std::map<std::uint32_t, std::unique_ptr<AsPlanes>> planes_;
   const Internet* internet_ = nullptr;
+  // Pool for per-source SPF parallelism inside reconvergence (nullable).
+  util::ThreadPool* pool_ = nullptr;
 };
 
 class Internet {
  public:
-  explicit Internet(const GenConfig& config);
+  // When `pool` is given, the per-AS IGP all-pairs SPF runs its sources in
+  // parallel during construction; the built state is byte-identical either
+  // way (per-source rows merge in index order).
+  explicit Internet(const GenConfig& config,
+                    util::ThreadPool* pool = nullptr);
 
   const GenConfig& config() const noexcept { return config_; }
   const AsGraph& graph() const noexcept { return graph_; }
@@ -142,8 +149,11 @@ class Internet {
   // Routeviews-equivalent table (with the configured mis-origination noise).
   dataset::Ip2As build_ip2as() const;
 
-  // Materialize control planes for (cycle, day-of-month).
-  MonthContext instantiate(int cycle, int day_of_month = 1) const;
+  // Materialize control planes for (cycle, day-of-month). `pool`, when
+  // given, parallelizes the IGP reconvergence SPFs triggered by link
+  // failures (output identical at any thread count).
+  MonthContext instantiate(int cycle, int day_of_month = 1,
+                           util::ThreadPool* pool = nullptr) const;
 
   // Path from a monitor to a destination through `ctx`'s planes; nullopt
   // when AS-level routing fails.
@@ -158,7 +168,7 @@ class Internet {
 
  private:
   void build_graph(util::Rng& rng);
-  void build_topologies(util::Rng& rng);
+  void build_topologies(util::Rng& rng, util::ThreadPool* pool);
   void place_monitors_and_destinations(util::Rng& rng);
 
   GenConfig config_;

@@ -1,11 +1,26 @@
 #include "igp/spf.h"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
+
+#include "util/thread_pool.h"
 
 namespace mum::igp {
 
+// Per-source result: distances plus the next hops concatenated in ascending
+// destination order (local offsets nh_begin, size n+1). Rows are assembled
+// into the flat IgpState arrays in source order, so parallel computation
+// yields byte-identical state.
+struct detail::SourceRow {
+  std::vector<std::uint32_t> dist;
+  std::vector<std::uint32_t> nh_begin;
+  std::vector<NextHop> nh;
+};
+
 namespace {
+
+using detail::SourceRow;
 
 struct QueueItem {
   std::uint32_t dist;
@@ -15,101 +30,380 @@ struct QueueItem {
   }
 };
 
-// Dijkstra from `src`, retaining every equal-cost predecessor edge.
-RouterRib spf_from(const topo::AsTopology& topo, topo::RouterId src,
-                   const std::vector<bool>* link_down) {
-  const std::size_t n = topo.router_count();
-  std::vector<std::uint32_t> dist(n, kUnreachable);
-  // predecessors[v] = links over which v is reached at the best distance.
-  std::vector<std::vector<topo::LinkId>> predecessors(n);
+// IGP costs are small integers, so the pending Dijkstra frontier spans at
+// most max_cost distinct distances: a cyclic bucket ("dial") queue settles
+// routers in O(V + E + max_dist) with no heap. Above this cost bound the
+// bucket ring would outgrow its benefit and we fall back to a binary heap.
+inline constexpr std::uint32_t kMaxDialCost = 4096;
 
+// Dijkstra via dial queue. Preconditions: 1 <= every arc cost <= max_cost.
+// Appends routers to `order` in settle order. Tie order within one distance
+// differs from the heap's, which is unobservable: with positive costs no
+// equal-distance router can be another's predecessor, so the first-hop
+// sweep reads identical masks either way.
+void dijkstra_dial(const topo::CsrAdjacency& csr, topo::RouterId src,
+                   const std::vector<bool>* link_down, std::uint32_t max_cost,
+                   std::vector<std::uint32_t>& dist,
+                   std::vector<topo::RouterId>& order) {
+  const std::uint32_t ring = max_cost + 1;
+  std::vector<std::vector<topo::RouterId>> buckets(ring);
+  dist[src] = 0;
+  buckets[0].push_back(src);
+  std::size_t pending = 1;
+  std::uint32_t cur = 0;
+  while (pending > 0) {
+    std::vector<topo::RouterId>& bucket = buckets[cur % ring];
+    // Relaxations from distance `cur` land in (cur, cur + max_cost], never
+    // back into this bucket, so draining it is safe.
+    while (!bucket.empty()) {
+      const topo::RouterId u = bucket.back();
+      bucket.pop_back();
+      --pending;
+      if (dist[u] != cur) continue;  // stale entry, improved meanwhile
+      order.push_back(u);
+      for (const topo::CsrArc& arc : csr.out(u)) {
+        if (link_down != nullptr && (*link_down)[arc.link]) continue;
+        const std::uint32_t nd = cur + arc.cost;
+        if (nd < dist[arc.to]) {
+          dist[arc.to] = nd;
+          buckets[nd % ring].push_back(arc.to);
+          ++pending;
+        }
+      }
+    }
+    ++cur;
+  }
+}
+
+void dijkstra_heap(const topo::CsrAdjacency& csr, topo::RouterId src,
+                   const std::vector<bool>* link_down,
+                   std::vector<std::uint32_t>& dist,
+                   std::vector<topo::RouterId>& order) {
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
   dist[src] = 0;
   pq.push({0, src});
-
   while (!pq.empty()) {
     const auto [d, u] = pq.top();
     pq.pop();
     if (d > dist[u]) continue;  // stale entry
-    for (const topo::LinkId lid : topo.links_of(u)) {
-      if (link_down != nullptr && (*link_down)[lid]) continue;
-      const topo::Link& l = topo.link(lid);
-      const topo::RouterId v = l.other(u);
-      const std::uint32_t nd = d + l.igp_cost;
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        predecessors[v].clear();
-        predecessors[v].push_back(lid);
-        pq.push({nd, v});
-      } else if (nd == dist[v]) {
-        predecessors[v].push_back(lid);
+    order.push_back(u);
+    for (const topo::CsrArc& arc : csr.out(u)) {
+      if (link_down != nullptr && (*link_down)[arc.link]) continue;
+      const std::uint32_t nd = d + arc.cost;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        pq.push({nd, arc.to});
       }
     }
   }
+}
 
-  // Derive ECMP next hops at `src` toward every destination: first hops of
-  // all shortest paths. Walk the predecessor DAG once per destination with
-  // memoization over "set of first-hop links from src able to reach node".
-  // Simpler and fast enough at our scales: for each destination, collect the
-  // first-hop set by reverse BFS to src.
-  std::vector<std::vector<NextHop>> nexthops(n);
-  std::vector<std::uint8_t> mark(n, 0);
-  std::vector<topo::RouterId> stack;
-  for (topo::RouterId dst = 0; dst < n; ++dst) {
-    if (dst == src || dist[dst] == kUnreachable) continue;
-    // Reverse walk from dst over predecessor links; whenever a predecessor
-    // link starts at src, that link is a first hop.
-    std::fill(mark.begin(), mark.end(), 0);
-    stack.clear();
-    stack.push_back(dst);
-    mark[dst] = 1;
-    std::vector<topo::LinkId> first_links;
-    while (!stack.empty()) {
-      const topo::RouterId v = stack.back();
-      stack.pop_back();
-      for (const topo::LinkId lid : predecessors[v]) {
-        const topo::RouterId u = topo.link(lid).other(v);
-        if (u == src) {
-          first_links.push_back(lid);
-        } else if (!mark[u]) {
-          mark[u] = 1;
-          stack.push_back(u);
+// Dijkstra from `src` over the CSR snapshot, then one distance-ordered sweep
+// over the shortest-path predecessor DAG that propagates the set of usable
+// first-hop links as a bitmask over `src`'s incident arcs. deg(src) <= 64
+// uses a single word per router; wider sources fall back to a multi-word
+// bitset. Bits decode in ascending position = ascending link id, matching
+// the sorted order the old per-destination reverse BFS produced.
+SourceRow spf_source(const topo::CsrAdjacency& csr, topo::RouterId src,
+                     const std::vector<bool>* link_down) {
+  const std::size_t n = csr.router_count();
+  SourceRow row;
+  row.dist.assign(n, kUnreachable);
+
+  const std::span<const topo::CsrArc> src_arcs = csr.out(src);
+  const std::size_t deg = src_arcs.size();
+
+  // Bit index of a link incident to src (arcs are in ascending link order).
+  const auto src_bit = [&src_arcs](topo::LinkId lid) {
+    const auto it = std::lower_bound(
+        src_arcs.begin(), src_arcs.end(), lid,
+        [](const topo::CsrArc& a, topo::LinkId l) { return a.link < l; });
+    return static_cast<std::size_t>(it - src_arcs.begin());
+  };
+
+  row.nh_begin.assign(n + 1, 0);
+  row.nh.reserve(n + n / 2);
+
+  const auto decode_word = [&](std::uint64_t word, std::size_t base) {
+    while (word != 0) {
+      const std::size_t bit =
+          base + static_cast<std::size_t>(std::countr_zero(word));
+      word &= word - 1;
+      row.nh.push_back(NextHop{src_arcs[bit].link, src_arcs[bit].to});
+    }
+  };
+
+  const bool dial_ok =
+      csr.max_cost() >= 1 && csr.max_cost() <= kMaxDialCost;
+
+  if (deg <= 64 && dial_ok) {
+    // Fast path: dial-queue Dijkstra with the first-hop masks (one u64 per
+    // router) computed inline at settle time. When `u` settles at distance
+    // `cur`, every tight predecessor has final distance < cur (costs >= 1)
+    // and was settled — and had its mask finalized — in an earlier bucket,
+    // so one pass over u's arcs both collects the mask and relaxes. Worker
+    // scratch is thread_local: reused across sources, never across threads.
+    const std::uint32_t ring = csr.max_cost() + 1;
+    thread_local std::vector<std::uint64_t> fh;
+    thread_local std::vector<std::vector<topo::RouterId>> buckets;
+    fh.assign(n, 0);
+    if (buckets.size() < ring) buckets.resize(ring);  // drained when done
+
+    std::uint32_t* dist = row.dist.data();
+    dist[src] = 0;
+    buckets[0].push_back(src);
+    std::size_t pending = 1;
+    std::uint32_t cur = 0;
+    while (pending > 0) {
+      std::vector<topo::RouterId>& bucket = buckets[cur % ring];
+      // Relaxations from `cur` land in (cur, cur + max_cost], never back
+      // into this bucket, so draining it is safe.
+      while (!bucket.empty()) {
+        const topo::RouterId u = bucket.back();
+        bucket.pop_back();
+        --pending;
+        if (dist[u] != cur) continue;  // stale entry, improved meanwhile
+        std::uint64_t mask = 0;
+        for (const topo::CsrArc& arc : csr.out(u)) {
+          if (link_down != nullptr && (*link_down)[arc.link]) continue;
+          const std::uint32_t dto = dist[arc.to];
+          const std::uint32_t nd = cur + arc.cost;
+          if (nd < dto) {
+            dist[arc.to] = nd;
+            buckets[nd % ring].push_back(arc.to);
+            ++pending;
+          } else if (dto != kUnreachable && dto + arc.cost == cur) {
+            mask |= arc.to == src
+                        ? (std::uint64_t{1} << src_bit(arc.link))
+                        : fh[arc.to];
+          }
+        }
+        if (u != src) fh[u] = mask;
+      }
+      ++cur;
+    }
+    for (topo::RouterId dst = 0; dst < n; ++dst) {
+      row.nh_begin[dst] = static_cast<std::uint32_t>(row.nh.size());
+      if (dst != src) decode_word(fh[dst], 0);
+    }
+    row.nh_begin[n] = static_cast<std::uint32_t>(row.nh.size());
+    return row;
+  }
+
+  // General path: settle order first (routers in nondecreasing final
+  // distance; with positive costs every tight predecessor settles strictly
+  // earlier), then a forward sweep propagating predecessor masks.
+  std::vector<topo::RouterId> order;
+  order.reserve(n);
+  if (dial_ok) {
+    dijkstra_dial(csr, src, link_down, csr.max_cost(), row.dist, order);
+  } else {
+    dijkstra_heap(csr, src, link_down, row.dist, order);
+  }
+
+  if (deg <= 64) {
+    // One u64 of first-hop links per router.
+    std::vector<std::uint64_t> fh(n, 0);
+    for (const topo::RouterId v : order) {
+      if (v == src) continue;
+      std::uint64_t mask = 0;
+      for (const topo::CsrArc& arc : csr.out(v)) {
+        if (link_down != nullptr && (*link_down)[arc.link]) continue;
+        const std::uint32_t du = row.dist[arc.to];
+        if (du == kUnreachable || du + arc.cost != row.dist[v]) continue;
+        mask |= arc.to == src ? (std::uint64_t{1} << src_bit(arc.link))
+                              : fh[arc.to];
+      }
+      fh[v] = mask;
+    }
+    for (topo::RouterId dst = 0; dst < n; ++dst) {
+      row.nh_begin[dst] = static_cast<std::uint32_t>(row.nh.size());
+      if (dst != src) decode_word(fh[dst], 0);
+    }
+  } else {
+    // Wide source: multi-word bitset per router, same sweep.
+    const std::size_t words = (deg + 63) / 64;
+    std::vector<std::uint64_t> fh(n * words, 0);
+    for (const topo::RouterId v : order) {
+      if (v == src) continue;
+      std::uint64_t* mv = fh.data() + static_cast<std::size_t>(v) * words;
+      for (const topo::CsrArc& arc : csr.out(v)) {
+        if (link_down != nullptr && (*link_down)[arc.link]) continue;
+        const std::uint32_t du = row.dist[arc.to];
+        if (du == kUnreachable || du + arc.cost != row.dist[v]) continue;
+        if (arc.to == src) {
+          const std::size_t bit = src_bit(arc.link);
+          mv[bit / 64] |= std::uint64_t{1} << (bit % 64);
+        } else {
+          const std::uint64_t* mu =
+              fh.data() + static_cast<std::size_t>(arc.to) * words;
+          for (std::size_t w = 0; w < words; ++w) mv[w] |= mu[w];
         }
       }
     }
-    std::sort(first_links.begin(), first_links.end());
-    first_links.erase(std::unique(first_links.begin(), first_links.end()),
-                      first_links.end());
-    for (const topo::LinkId lid : first_links) {
-      nexthops[dst].push_back(NextHop{lid, topo.link(lid).other(src)});
+    for (topo::RouterId dst = 0; dst < n; ++dst) {
+      row.nh_begin[dst] = static_cast<std::uint32_t>(row.nh.size());
+      if (dst == src) continue;
+      const std::uint64_t* m =
+          fh.data() + static_cast<std::size_t>(dst) * words;
+      for (std::size_t w = 0; w < words; ++w) decode_word(m[w], w * 64);
     }
   }
-
-  return RouterRib(std::move(dist), std::move(nexthops));
+  row.nh_begin[n] = static_cast<std::uint32_t>(row.nh.size());
+  return row;
 }
 
 }  // namespace
 
-IgpState IgpState::compute(const topo::AsTopology& topo,
-                           const std::vector<bool>* link_down) {
-  IgpState state;
-  state.ribs_.reserve(topo.router_count());
-  for (topo::RouterId r = 0; r < topo.router_count(); ++r) {
-    state.ribs_.push_back(spf_from(topo, r, link_down));
+IgpState IgpState::assemble(std::size_t n, std::vector<SourceRow>& fresh,
+                            const std::vector<std::uint8_t>* use_fresh,
+                            const IgpState* baseline) {
+  IgpState out;
+  out.n_ = n;
+  out.dist_.resize(n * n);
+  out.offsets_.resize(n * n + 1);
+
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (use_fresh == nullptr || (*use_fresh)[s]) {
+      total += fresh[s].nh.size();
+    } else {
+      total += static_cast<std::size_t>(baseline->offsets_[(s + 1) * n] -
+                                        baseline->offsets_[s * n]);
+    }
   }
-  return state;
+  out.nh_.reserve(total);
+
+  out.offsets_[0] = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::uint64_t base = out.nh_.size();
+    if (use_fresh == nullptr || (*use_fresh)[s]) {
+      SourceRow& row = fresh[s];
+      std::copy(row.dist.begin(), row.dist.end(), out.dist_.begin() + s * n);
+      for (std::size_t d = 0; d < n; ++d) {
+        out.offsets_[s * n + d + 1] = base + row.nh_begin[d + 1];
+      }
+      out.nh_.insert(out.nh_.end(), row.nh.begin(), row.nh.end());
+      row = SourceRow{};  // free per-source scratch early
+    } else {
+      std::copy(baseline->dist_.begin() + s * n,
+                baseline->dist_.begin() + (s + 1) * n,
+                out.dist_.begin() + s * n);
+      const std::uint64_t row_start = baseline->offsets_[s * n];
+      for (std::size_t d = 0; d < n; ++d) {
+        out.offsets_[s * n + d + 1] =
+            base + (baseline->offsets_[s * n + d + 1] - row_start);
+      }
+      out.nh_.insert(out.nh_.end(), baseline->nh_.begin() + row_start,
+                     baseline->nh_.begin() + baseline->offsets_[(s + 1) * n]);
+    }
+  }
+  return out;
+}
+
+IgpState IgpState::compute(const topo::AsTopology& topo,
+                           const std::vector<bool>* link_down,
+                           util::ThreadPool* pool) {
+  const topo::CsrAdjacency csr = topo.make_csr();
+  const std::size_t n = csr.router_count();
+  std::vector<SourceRow> rows(n);
+  util::parallel_for(pool, n, [&](std::size_t s) {
+    rows[s] = spf_source(csr, static_cast<topo::RouterId>(s), link_down);
+  });
+  return assemble(n, rows, nullptr, nullptr);
+}
+
+IgpState IgpState::reconverge(const topo::AsTopology& topo,
+                              const IgpState& baseline,
+                              const std::vector<bool>& link_down,
+                              util::ThreadPool* pool,
+                              ReconvergeStats* stats) {
+  const std::size_t n = baseline.n_;
+  struct Down {
+    topo::RouterId a, b;
+    std::uint32_t cost;
+  };
+  std::vector<Down> downed;
+  for (topo::LinkId l = 0; l < link_down.size(); ++l) {
+    if (!link_down[l]) continue;
+    const topo::Link& link = topo.link(l);
+    downed.push_back(Down{link.a, link.b, link.igp_cost});
+  }
+
+  // A source is affected iff some downed link lies on one of its shortest
+  // paths, i.e. is tight under its baseline distances in either direction.
+  std::vector<std::uint8_t> affected(n, 0);
+  std::size_t n_affected = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::uint32_t* d = baseline.dist_.data() + s * n;
+    for (const Down& l : downed) {
+      const std::uint32_t da = d[l.a];
+      const std::uint32_t db = d[l.b];
+      if ((da != kUnreachable && da + l.cost == db) ||
+          (db != kUnreachable && db + l.cost == da)) {
+        affected[s] = 1;
+        ++n_affected;
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->sources_total = n;
+    stats->sources_recomputed = n_affected;
+  }
+
+  std::vector<SourceRow> rows(n);
+  if (n_affected > 0) {
+    const topo::CsrAdjacency csr = topo.make_csr();
+    util::parallel_for(pool, n, [&](std::size_t s) {
+      if (affected[s]) {
+        rows[s] =
+            spf_source(csr, static_cast<topo::RouterId>(s), &link_down);
+      }
+    });
+  }
+  return assemble(n, rows, &affected, &baseline);
 }
 
 std::uint64_t IgpState::path_count(topo::RouterId src, topo::RouterId dst,
                                    std::uint64_t cap) const {
   if (src == dst) return 1;
-  if (!ribs_.at(src).reachable(dst)) return 0;
-  std::uint64_t total = 0;
-  for (const NextHop& nh : ribs_.at(src).nexthops(dst)) {
-    total += path_count(nh.neighbor, dst, cap);
-    if (total >= cap) return cap;
+  if (dist_[static_cast<std::size_t>(src) * n_ + dst] == kUnreachable) {
+    return 0;
   }
-  return total;
+  // Memoized DP over the next-hop DAG: memo[v] = min(#paths v->dst, cap).
+  // kUnset must stay distinct from any legal value, so clamp cap below ~0.
+  constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+  cap = std::min(cap, kUnset - 1);
+  std::vector<std::uint64_t> memo(n_, kUnset);
+  memo[dst] = 1;
+
+  // Iterative DFS (explicit stack) so deep DAGs cannot overflow the C stack.
+  std::vector<topo::RouterId> stack{src};
+  while (!stack.empty()) {
+    const topo::RouterId v = stack.back();
+    if (memo[v] != kUnset) {
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (const NextHop& nh : rib(v).nexthops(dst)) {
+      if (memo[nh.neighbor] == kUnset) {
+        stack.push_back(nh.neighbor);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    std::uint64_t total = 0;
+    for (const NextHop& nh : rib(v).nexthops(dst)) {
+      const std::uint64_t c = memo[nh.neighbor];
+      total = c >= cap - total ? cap : total + c;
+      if (total >= cap) break;
+    }
+    memo[v] = total;
+  }
+  return memo[src];
 }
 
 }  // namespace mum::igp

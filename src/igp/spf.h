@@ -5,12 +5,26 @@
 // the same neighbour are two distinct ECMP next hops, exactly the situation
 // behind the paper's "Parallel Links" subclass). LDP LSP-trees and the
 // forwarding plane both consume these next-hop sets.
+//
+// Storage is flat: one contiguous distance matrix, one contiguous NextHop
+// pool, and a CSR offset table per (source, destination) — no per-pair
+// heap allocations. `rib(r)` returns a lightweight view into those arrays.
+// `compute` runs one Dijkstra per source over a CSR adjacency snapshot and
+// derives the ECMP first-hop sets with a single distance-ordered sweep over
+// the shortest-path predecessor DAG (O(V+E) per source, bitmask over the
+// source's incident links). Sources are independent, so the work spreads
+// over a thread pool with byte-identical output at any thread count.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "topo/topology.h"
+
+namespace mum::util {
+class ThreadPool;
+}
 
 namespace mum::igp {
 
@@ -23,47 +37,95 @@ struct NextHop {
 
 inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
 
+namespace detail {
+struct SourceRow;  // per-source SPF scratch (spf.cpp)
+}
+
+class IgpState;
+
 // Routing state of one router: distance and ECMP next-hop set toward every
-// other router of the AS (indexed by destination RouterId).
+// other router of the AS (indexed by destination RouterId). Non-owning view
+// into the IgpState that produced it; valid while that state is alive.
 class RouterRib {
  public:
   RouterRib() = default;
-  RouterRib(std::vector<std::uint32_t> dist,
-            std::vector<std::vector<NextHop>> nexthops)
-      : dist_(std::move(dist)), nexthops_(std::move(nexthops)) {}
 
-  std::uint32_t distance(topo::RouterId dst) const { return dist_.at(dst); }
+  std::uint32_t distance(topo::RouterId dst) const { return dist_[dst]; }
   bool reachable(topo::RouterId dst) const {
-    return dist_.at(dst) != kUnreachable;
+    return dist_[dst] != kUnreachable;
   }
-  const std::vector<NextHop>& nexthops(topo::RouterId dst) const {
-    return nexthops_.at(dst);
+  // Next hops toward `dst`, in ascending outgoing-link-id order.
+  std::span<const NextHop> nexthops(topo::RouterId dst) const {
+    return {nh_ + off_[dst], static_cast<std::size_t>(off_[dst + 1] - off_[dst])};
   }
 
  private:
-  std::vector<std::uint32_t> dist_;
-  std::vector<std::vector<NextHop>> nexthops_;
+  friend class IgpState;
+  RouterRib(const std::uint32_t* dist, const std::uint64_t* off,
+            const NextHop* nh)
+      : dist_(dist), off_(off), nh_(nh) {}
+
+  const std::uint32_t* dist_ = nullptr;
+  const std::uint64_t* off_ = nullptr;  // global offsets into nh_
+  const NextHop* nh_ = nullptr;
 };
 
 // All-routers routing state for one AS.
 class IgpState {
  public:
+  // What an incremental reconvergence actually did (see `reconverge`).
+  struct ReconvergeStats {
+    std::size_t sources_total = 0;
+    std::size_t sources_recomputed = 0;  // rest copied from the baseline
+  };
+
   // Runs Dijkstra from every router. O(R * (L log R)). When `link_down` is
   // given (indexed by LinkId), those links are excluded — the state after an
-  // IGP reconvergence around failed links.
+  // IGP reconvergence around failed links. When `pool` is given, sources are
+  // computed in parallel; output is byte-identical at any thread count.
   static IgpState compute(const topo::AsTopology& topo,
-                          const std::vector<bool>* link_down = nullptr);
+                          const std::vector<bool>* link_down = nullptr,
+                          util::ThreadPool* pool = nullptr);
 
-  const RouterRib& rib(topo::RouterId r) const { return ribs_.at(r); }
-  std::size_t router_count() const noexcept { return ribs_.size(); }
+  // Incremental reconvergence: equivalent to `compute(topo, &link_down)`
+  // given a `baseline` computed on the same topology with no links down,
+  // but only recomputes sources whose shortest-path DAG actually traverses
+  // a downed link (a link is on some shortest path from s iff it is "tight"
+  // under s's baseline distances); every other source's RIB row is copied
+  // from the baseline. Removing links that carry none of s's shortest paths
+  // changes neither s's distances nor its ECMP sets, so the result is
+  // byte-identical to a full recompute.
+  static IgpState reconverge(const topo::AsTopology& topo,
+                             const IgpState& baseline,
+                             const std::vector<bool>& link_down,
+                             util::ThreadPool* pool = nullptr,
+                             ReconvergeStats* stats = nullptr);
+
+  RouterRib rib(topo::RouterId r) const {
+    return RouterRib(dist_.data() + static_cast<std::size_t>(r) * n_,
+                     offsets_.data() + static_cast<std::size_t>(r) * n_,
+                     nh_.data());
+  }
+  std::size_t router_count() const noexcept { return n_; }
 
   // Number of loop-free shortest paths from src to dst (counts distinct
-  // link sequences, capped to avoid overflow). Used by tests & metrics.
+  // link sequences, saturating at `cap`). Memoized DP over the next-hop
+  // DAG: O(V + E) regardless of how many paths the DAG encodes.
   std::uint64_t path_count(topo::RouterId src, topo::RouterId dst,
                            std::uint64_t cap = 1u << 20) const;
 
  private:
-  std::vector<RouterRib> ribs_;
+  // Concatenates per-source rows (fresh, or copied from `baseline` where
+  // `use_fresh` is 0) into the flat arrays, in source order.
+  static IgpState assemble(std::size_t n,
+                           std::vector<detail::SourceRow>& rows,
+                           const std::vector<std::uint8_t>* use_fresh,
+                           const IgpState* baseline);
+
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> dist_;    // n * n, row = source
+  std::vector<std::uint64_t> offsets_; // n * n + 1, into nh_
+  std::vector<NextHop> nh_;            // all next hops, grouped by (src, dst)
 };
 
 }  // namespace mum::igp

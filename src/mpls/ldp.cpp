@@ -10,18 +10,25 @@ LdpPlane LdpPlane::build(const topo::AsTopology& topo,
   plane.n_ = topo.router_count();
   plane.labels_.assign(plane.n_ * plane.n_, kNoLabel);
 
+  std::vector<std::uint8_t> candidate(plane.n_, 0);
   for (topo::RouterId fec = 0; fec < plane.n_; ++fec) {
-    const bool is_candidate_fec =
-        config.fec_all_loopbacks || topo.router(fec).is_border;
-    if (!is_candidate_fec) continue;
-    for (topo::RouterId r = 0; r < plane.n_; ++r) {
+    candidate[fec] = config.fec_all_loopbacks || topo.router(fec).is_border;
+  }
+
+  // Router-major order: one flat-RIB view per router, contiguous walks over
+  // its label row. Each per-router pool still allocates in ascending-FEC
+  // order, so the label assignment is identical to the FEC-major loop.
+  for (topo::RouterId r = 0; r < plane.n_; ++r) {
+    const igp::RouterRib rib = igp.rib(r);
+    for (topo::RouterId fec = 0; fec < plane.n_; ++fec) {
+      if (!candidate[fec]) continue;
       if (r == fec) {
         plane.labels_[r * plane.n_ + fec] =
             config.php ? net::kLabelImplicitNull
                        : pools[r].allocate();
         continue;
       }
-      if (!igp.rib(r).reachable(fec)) continue;
+      if (!rib.reachable(fec)) continue;
       // Downstream unsolicited, liberal retention: every reachable router
       // binds one label per FEC and advertises it to all neighbours.
       plane.labels_[r * plane.n_ + fec] = pools[r].allocate();

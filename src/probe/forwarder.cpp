@@ -1,5 +1,7 @@
 #include "probe/forwarder.h"
 
+#include <span>
+
 #include "util/rng.h"
 
 namespace mum::probe {
@@ -113,7 +115,9 @@ bool walk_segment(const SegmentSpec& seg, net::Ipv4Addr dst,
   for (std::size_t budget = topo.router_count() + 4; at != seg.egress;
        --budget) {
     if (budget == 0) return false;
-    const auto& nhs = igp.rib(at).nexthops(seg.egress);
+    // Flat-RIB accessor: a contiguous slice of the AS-wide next-hop pool.
+    const std::span<const igp::NextHop> nhs =
+        igp.rib(at).nexthops(seg.egress);
     if (nhs.empty()) return false;
     const auto& nh =
         nhs[ecmp_pick(flow_hash, at, plane.salt_for(at), nhs.size())];

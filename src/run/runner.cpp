@@ -5,15 +5,22 @@
 
 namespace mum::run {
 
+namespace {
+
+std::unique_ptr<util::ThreadPool> make_pool(int threads_config) {
+  const unsigned threads =
+      threads_config <= 0 ? util::hardware_threads()
+                          : static_cast<unsigned>(threads_config);
+  return threads > 1 ? std::make_unique<util::ThreadPool>(threads) : nullptr;
+}
+
+}  // namespace
+
 Runner::Runner(const RunnerConfig& config)
     : config_(config),
-      internet_(config.gen),
-      ip2as_(internet_.build_ip2as()) {
-  const unsigned threads =
-      config_.threads <= 0 ? util::hardware_threads()
-                           : static_cast<unsigned>(config_.threads);
-  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
-}
+      pool_(make_pool(config.threads)),
+      internet_(config.gen, pool_.get()),
+      ip2as_(internet_.build_ip2as()) {}
 
 Runner::~Runner() = default;
 

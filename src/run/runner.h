@@ -70,9 +70,11 @@ class Runner {
   gen::CampaignConfig campaign_for(int cycle) const;
 
   RunnerConfig config_;
+  // Declared before internet_: the pool also parallelizes the per-AS IGP
+  // computation while the internet is built.
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads resolve to 1
   gen::Internet internet_;
   dataset::Ip2As ip2as_;
-  std::unique_ptr<util::ThreadPool> pool_;  // null when threads resolve to 1
 };
 
 }  // namespace mum::run

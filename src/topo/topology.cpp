@@ -1,5 +1,6 @@
 #include "topo/topology.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace mum::topo {
@@ -50,6 +51,23 @@ std::vector<RouterId> AsTopology::border_routers() const {
 RouterId AsTopology::router_of_addr(net::Ipv4Addr addr) const {
   const auto it = addr_to_router_.find(addr);
   return it == addr_to_router_.end() ? kInvalidRouter : it->second;
+}
+
+CsrAdjacency AsTopology::make_csr() const {
+  CsrAdjacency csr;
+  csr.offsets_.resize(routers_.size() + 1);
+  csr.arcs_.reserve(links_.size() * 2);
+  for (RouterId r = 0; r < routers_.size(); ++r) {
+    csr.offsets_[r] = static_cast<std::uint32_t>(csr.arcs_.size());
+    // adjacency_ lists are filled in add_link order, i.e. ascending LinkId.
+    for (const LinkId lid : adjacency_[r]) {
+      const Link& l = links_[lid];
+      csr.arcs_.push_back(CsrArc{lid, l.other(r), l.igp_cost});
+      csr.max_cost_ = std::max(csr.max_cost_, l.igp_cost);
+    }
+  }
+  csr.offsets_.back() = static_cast<std::uint32_t>(csr.arcs_.size());
+  return csr;
 }
 
 std::size_t AsTopology::parallel_degree(RouterId a, RouterId b) const {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,40 @@ struct Link {
   }
 };
 
+// One directed half of a link as seen from a router: the outgoing link id,
+// the router it leads to, and the link's IGP cost. 12 bytes, no padding.
+struct CsrArc {
+  LinkId link = kInvalidLink;
+  RouterId to = kInvalidRouter;
+  std::uint32_t cost = 1;
+};
+
+// Compressed-sparse-row adjacency snapshot of a topology: every router's
+// outgoing arcs stored contiguously, in ascending link-id order. SPF inner
+// loops walk this instead of the pointer-chasing `links_of` + `link(lid)`
+// pair. A snapshot is immutable and independent of the AsTopology that
+// produced it (safe to share read-only across threads); rebuild after
+// mutating the topology.
+class CsrAdjacency {
+ public:
+  std::size_t router_count() const noexcept { return offsets_.size() - 1; }
+  std::size_t arc_count() const noexcept { return arcs_.size(); }
+
+  std::span<const CsrArc> out(RouterId r) const {
+    return {arcs_.data() + offsets_[r], arcs_.data() + offsets_[r + 1]};
+  }
+  // Largest single-arc cost (0 when there are no arcs). Bounds the distance
+  // spread of a Dijkstra frontier, letting the SPF run a cyclic bucket
+  // queue instead of a binary heap.
+  std::uint32_t max_cost() const noexcept { return max_cost_; }
+
+ private:
+  friend class AsTopology;
+  std::vector<std::uint32_t> offsets_;  // router_count() + 1
+  std::vector<CsrArc> arcs_;            // 2 * link_count()
+  std::uint32_t max_cost_ = 0;
+};
+
 class AsTopology {
  public:
   explicit AsTopology(std::uint32_t asn) : asn_(asn) {}
@@ -90,6 +125,9 @@ class AsTopology {
 
   // Router owning `addr` (loopback or interface); kInvalidRouter if none.
   RouterId router_of_addr(net::Ipv4Addr addr) const;
+
+  // CSR adjacency snapshot of the current link set (see CsrAdjacency).
+  CsrAdjacency make_csr() const;
 
   // Number of distinct links between a and b (parallel-link width).
   std::size_t parallel_degree(RouterId a, RouterId b) const;

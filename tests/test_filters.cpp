@@ -196,7 +196,7 @@ TEST(GroupIotps, DeduplicatesVariantsAndAccumulatesDests) {
   const auto records = group_iotps({o1, o1_again, o2});
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].variants.size(), 2u);  // {100} and {101}
-  EXPECT_EQ(records[0].dst_asns, (std::set<std::uint32_t>{9, 10, 11}));
+  EXPECT_EQ(records[0].dst_asns, (std::vector<std::uint32_t>{9, 10, 11}));
 }
 
 TEST(GroupIotps, SeparatesByEndpointsAndAs) {

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <queue>
 #include <set>
 
 #include "topo/builder.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mum::igp {
 namespace {
@@ -185,6 +188,304 @@ TEST_P(SpfProperty, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpfProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Reference parity: the optimized one-pass SPF must reproduce, byte for
+// byte, what the original per-destination reverse-BFS implementation
+// computed. The reference below is that original algorithm, kept verbatim
+// (modulo the return type) as the ground truth.
+// ---------------------------------------------------------------------------
+
+struct ReferenceRib {
+  std::vector<std::uint32_t> dist;
+  std::vector<std::vector<NextHop>> nexthops;
+};
+
+struct RefQueueItem {
+  std::uint32_t dist;
+  RouterId router;
+  friend bool operator>(const RefQueueItem& a, const RefQueueItem& b) {
+    return a.dist > b.dist;
+  }
+};
+
+ReferenceRib reference_spf(const AsTopology& topo, RouterId src,
+                           const std::vector<bool>* link_down) {
+  const std::size_t n = topo.router_count();
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<std::vector<topo::LinkId>> predecessors(n);
+  std::priority_queue<RefQueueItem, std::vector<RefQueueItem>,
+                      std::greater<>> pq;
+  dist[src] = 0;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const topo::LinkId lid : topo.links_of(u)) {
+      if (link_down != nullptr && (*link_down)[lid]) continue;
+      const topo::Link& l = topo.link(lid);
+      const RouterId v = l.other(u);
+      const std::uint32_t nd = d + l.igp_cost;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        predecessors[v].clear();
+        predecessors[v].push_back(lid);
+        pq.push({nd, v});
+      } else if (nd == dist[v]) {
+        predecessors[v].push_back(lid);
+      }
+    }
+  }
+  std::vector<std::vector<NextHop>> nexthops(n);
+  std::vector<std::uint8_t> mark(n, 0);
+  std::vector<RouterId> stack;
+  for (RouterId dst = 0; dst < n; ++dst) {
+    if (dst == src || dist[dst] == kUnreachable) continue;
+    std::fill(mark.begin(), mark.end(), 0);
+    stack.clear();
+    stack.push_back(dst);
+    mark[dst] = 1;
+    std::vector<topo::LinkId> first_links;
+    while (!stack.empty()) {
+      const RouterId v = stack.back();
+      stack.pop_back();
+      for (const topo::LinkId lid : predecessors[v]) {
+        const RouterId u = topo.link(lid).other(v);
+        if (u == src) {
+          first_links.push_back(lid);
+        } else if (!mark[u]) {
+          mark[u] = 1;
+          stack.push_back(u);
+        }
+      }
+    }
+    std::sort(first_links.begin(), first_links.end());
+    first_links.erase(std::unique(first_links.begin(), first_links.end()),
+                      first_links.end());
+    for (const topo::LinkId lid : first_links) {
+      nexthops[dst].push_back(NextHop{lid, topo.link(lid).other(src)});
+    }
+  }
+  return ReferenceRib{std::move(dist), std::move(nexthops)};
+}
+
+// Asserts exact equality — distances AND next-hop sequences in order.
+void expect_matches_reference(const AsTopology& topo, const IgpState& igp,
+                              const std::vector<bool>* link_down) {
+  for (RouterId s = 0; s < topo.router_count(); ++s) {
+    const ReferenceRib ref = reference_spf(topo, s, link_down);
+    const RouterRib rib = igp.rib(s);
+    for (RouterId d = 0; d < topo.router_count(); ++d) {
+      ASSERT_EQ(rib.distance(d), ref.dist[d])
+          << "dist mismatch src=" << s << " dst=" << d;
+      const auto nhs = rib.nexthops(d);
+      ASSERT_EQ(nhs.size(), ref.nexthops[d].size())
+          << "ECMP width mismatch src=" << s << " dst=" << d;
+      for (std::size_t i = 0; i < nhs.size(); ++i) {
+        ASSERT_EQ(nhs[i], ref.nexthops[d][i])
+            << "next hop mismatch src=" << s << " dst=" << d << " i=" << i;
+      }
+    }
+  }
+}
+
+AsTopology random_topology(std::uint64_t seed) {
+  util::Rng rng(seed);
+  topo::BuildParams params;
+  params.asn = 1;
+  params.block = net::Ipv4Prefix(net::Ipv4Addr(16, 0, 0, 0), 16);
+  params.core_routers = 4 + static_cast<int>(rng.below(5));
+  params.pop_routers = 8 + static_cast<int>(rng.below(16));
+  // Every other seed: parallel bundles (distinct ECMP next hops to one
+  // neighbour) and non-uniform costs (asymmetric-cost relaxations).
+  params.parallel_link_prob = (seed % 2 == 0) ? 0.4 : 0.0;
+  params.uniform_costs = (seed % 3 != 0);
+  params.heavy_cost_share = 0.25;
+  return topo::build_as_topology(params, rng);
+}
+
+class SpfReferenceParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpfReferenceParity, FullTopology) {
+  const AsTopology topo = random_topology(GetParam());
+  expect_matches_reference(topo, IgpState::compute(topo), nullptr);
+}
+
+TEST_P(SpfReferenceParity, WithDownedLinks) {
+  const AsTopology topo = random_topology(GetParam());
+  util::Rng rng(GetParam() * 7919 + 1);
+  std::vector<bool> down(topo.link_count(), false);
+  // Down ~10% of links: may partition the topology, which the parity check
+  // must handle (unreachable destinations on both sides).
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    down[l] = rng.below(10) == 0;
+  }
+  expect_matches_reference(topo, IgpState::compute(topo, &down), &down);
+}
+
+TEST_P(SpfReferenceParity, ReconvergeMatchesFullRecompute) {
+  const AsTopology topo = random_topology(GetParam());
+  const IgpState baseline = IgpState::compute(topo);
+  util::Rng rng(GetParam() * 104729 + 3);
+  std::vector<bool> down(topo.link_count(), false);
+  for (std::size_t l = 0; l < topo.link_count(); ++l) {
+    down[l] = rng.below(12) == 0;
+  }
+  IgpState::ReconvergeStats stats;
+  const IgpState inc = IgpState::reconverge(topo, baseline, down, nullptr,
+                                            &stats);
+  EXPECT_EQ(stats.sources_total, topo.router_count());
+  EXPECT_LE(stats.sources_recomputed, stats.sources_total);
+  expect_matches_reference(topo, inc, &down);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpfReferenceParity,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(SpfReferenceParity, UnreachablePartition) {
+  // Two disconnected triangles: cross-component destinations unreachable.
+  AsTopology topo(1);
+  std::vector<RouterId> r;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    r.push_back(topo.add_router(ip(i + 1), Vendor::kCisco, false));
+  }
+  std::uint32_t next_ip = 100;
+  auto link = [&](RouterId x, RouterId y, std::uint32_t cost) {
+    topo.add_link(x, y, ip(next_ip++), ip(next_ip++), cost);
+  };
+  link(r[0], r[1], 1);
+  link(r[1], r[2], 1);
+  link(r[0], r[2], 2);
+  link(r[3], r[4], 1);
+  link(r[4], r[5], 1);
+  link(r[3], r[5], 2);
+  const IgpState igp = IgpState::compute(topo);
+  expect_matches_reference(topo, igp, nullptr);
+  EXPECT_FALSE(igp.rib(r[0]).reachable(r[3]));
+  EXPECT_TRUE(igp.rib(r[0]).nexthops(r[3]).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Incremental reconvergence: only sources whose shortest-path DAG uses a
+// downed link may be recomputed.
+// ---------------------------------------------------------------------------
+
+TEST(SpfReconverge, UnusedLinkRecomputesNothing) {
+  // triangle(): the a--c cost-3 link carries no shortest path from any
+  // source (a-b-c costs 2), so downing it must leave every RIB row as a
+  // baseline copy.
+  const AsTopology topo = triangle();
+  const IgpState baseline = IgpState::compute(topo);
+  std::vector<bool> down(topo.link_count(), false);
+  down[2] = true;  // the cost-3 a--c link
+  IgpState::ReconvergeStats stats;
+  const IgpState inc = IgpState::reconverge(topo, baseline, down, nullptr,
+                                            &stats);
+  EXPECT_EQ(stats.sources_total, 3u);
+  EXPECT_EQ(stats.sources_recomputed, 0u);
+  expect_matches_reference(topo, inc, &down);
+}
+
+TEST(SpfReconverge, FailureIsolatedToItsComponent) {
+  // Two disconnected triangles; failing the r0--r1 edge of the first must
+  // only recompute r0 and r1: from r2 both neighbours are reached over the
+  // direct links, so the failed edge carries none of r2's shortest paths,
+  // and triangle B is untouched entirely.
+  AsTopology topo(1);
+  std::vector<RouterId> r;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    r.push_back(topo.add_router(ip(i + 1), Vendor::kCisco, false));
+  }
+  std::uint32_t next_ip = 100;
+  auto link = [&](RouterId x, RouterId y) {
+    topo.add_link(x, y, ip(next_ip++), ip(next_ip++), 1);
+  };
+  link(r[0], r[1]);  // link 0: in every triangle-A shortest-path DAG
+  link(r[1], r[2]);
+  link(r[0], r[2]);
+  link(r[3], r[4]);
+  link(r[4], r[5]);
+  link(r[3], r[5]);
+  const IgpState baseline = IgpState::compute(topo);
+  std::vector<bool> down(topo.link_count(), false);
+  down[0] = true;
+  IgpState::ReconvergeStats stats;
+  const IgpState inc = IgpState::reconverge(topo, baseline, down, nullptr,
+                                            &stats);
+  EXPECT_EQ(stats.sources_total, 6u);
+  EXPECT_EQ(stats.sources_recomputed, 2u);  // r0 and r1 only
+  expect_matches_reference(topo, inc, &down);
+}
+
+TEST(SpfReconverge, ParallelOutputMatchesSerial) {
+  const AsTopology topo = random_topology(14);
+  const IgpState baseline = IgpState::compute(topo);
+  std::vector<bool> down(topo.link_count(), false);
+  down[1] = true;
+  down[topo.link_count() - 2] = true;
+  util::ThreadPool pool(4);
+  const IgpState serial = IgpState::reconverge(topo, baseline, down);
+  const IgpState parallel =
+      IgpState::reconverge(topo, baseline, down, &pool);
+  for (RouterId s = 0; s < topo.router_count(); ++s) {
+    for (RouterId d = 0; d < topo.router_count(); ++d) {
+      ASSERT_EQ(serial.rib(s).distance(d), parallel.rib(s).distance(d));
+      const auto a = serial.rib(s).nexthops(d);
+      const auto b = parallel.rib(s).nexthops(d);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// path_count: memoized DP must handle exponentially many shortest paths.
+// ---------------------------------------------------------------------------
+
+TEST(SpfPathCount, DiamondChainExponential) {
+  // 40 diamonds in series: 2^40 shortest paths end to end. The former
+  // recursive enumeration would take ~2^40 steps; the memoized DP is O(V+E).
+  constexpr int kDiamonds = 40;
+  AsTopology topo(1);
+  std::uint32_t next_ip = 1;
+  auto router = [&] {
+    return topo.add_router(ip(next_ip++), Vendor::kCisco, false);
+  };
+  std::uint32_t link_ip = 100000;
+  auto link = [&](RouterId x, RouterId y) {
+    topo.add_link(x, y, ip(link_ip++), ip(link_ip++), 1);
+  };
+  RouterId head = router();
+  const RouterId first = head;
+  for (int i = 0; i < kDiamonds; ++i) {
+    const RouterId up = router();
+    const RouterId dn = router();
+    const RouterId tail = router();
+    link(head, up);
+    link(head, dn);
+    link(up, tail);
+    link(dn, tail);
+    head = tail;
+  }
+  const IgpState igp = IgpState::compute(topo);
+  EXPECT_EQ(igp.path_count(first, head, std::uint64_t{1} << 50),
+            std::uint64_t{1} << kDiamonds);
+  // Saturation: a small cap is hit exactly, not overshot.
+  EXPECT_EQ(igp.path_count(first, head, 100), 100u);
+  // Default cap still saturates cleanly.
+  EXPECT_EQ(igp.path_count(first, head), std::uint64_t{1} << 20);
+}
+
+TEST(SpfPathCount, BasicsUnchanged) {
+  const AsTopology topo = triangle();
+  const IgpState igp = IgpState::compute(topo);
+  EXPECT_EQ(igp.path_count(0, 0), 1u);
+  EXPECT_EQ(igp.path_count(0, 2), 1u);  // unique path via b
+  AsTopology split(1);
+  split.add_router(ip(1), Vendor::kCisco, false);
+  split.add_router(ip(2), Vendor::kCisco, false);
+  EXPECT_EQ(IgpState::compute(split).path_count(0, 1), 0u);
+}
 
 }  // namespace
 }  // namespace mum::igp
