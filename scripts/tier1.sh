@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 gate: full build + test suite, then a ThreadSanitizer pass over the
 # parallel execution layer (tests/test_parallel) to catch data races the
-# functional tests cannot.
+# functional tests cannot, then an ASan+UBSan pass over the tolerant-ingest
+# layer (decoder fuzz corpus + chaos tests) to catch memory errors arbitrary
+# bytes could trigger.
 #
-# Usage: scripts/tier1.sh [build-dir] [tsan-build-dir]
+# Usage: scripts/tier1.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 tsan_build="${2:-$repo/build-tsan}"
+asan_build="${3:-$repo/build-asan}"
 
 echo "== tier-1: build + ctest ($build) =="
 cmake -B "$build" -S "$repo"
@@ -20,5 +23,11 @@ cmake -B "$tsan_build" -S "$repo" -DMUM_TSAN=ON
 # Only the one target — a full TSan tree is slow and adds nothing here.
 cmake --build "$tsan_build" -j --target test_parallel
 "$tsan_build/tests/test_parallel"
+
+echo "== tier-1: ASan+UBSan pass over tolerant ingest ($asan_build) =="
+cmake -B "$asan_build" -S "$repo" -DMUM_ASAN=ON
+cmake --build "$asan_build" -j --target fuzz_warts --target test_chaos
+"$asan_build/tools/fuzz_warts" --iters 10000
+"$asan_build/tests/test_chaos"
 
 echo "== tier-1: OK =="

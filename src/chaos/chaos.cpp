@@ -1,0 +1,208 @@
+#include "chaos/chaos.h"
+
+#include <algorithm>
+#include <charconv>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace mum::chaos {
+
+namespace {
+
+// Seed-lineage tags keeping the fault streams independent of each other and
+// of the generator's own (seed, cycle, sub) streams.
+constexpr std::uint64_t kStructuralTag = 0xC4A05'57A7ull;
+constexpr std::uint64_t kWireTag = 0xC4A05'B17Eull;
+constexpr std::uint64_t kFailTag = 0xC4A05'FA11ull;
+
+std::optional<double> parse_rate(std::string_view text) {
+  bool percent = false;
+  if (!text.empty() && text.back() == '%') {
+    percent = true;
+    text.remove_suffix(1);
+  }
+  double value = 0.0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || end != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  if (percent) value /= 100.0;
+  if (value < 0.0 || value > 1.0) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<ChaosConfig> parse_chaos_spec(std::string_view spec,
+                                            std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<ChaosConfig> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  ChaosConfig config;
+  for (std::string_view field : util::split(spec, ',')) {
+    field = util::trim(field);
+    if (field.empty()) continue;
+
+    const auto eq = field.find('=');
+    std::string_view name =
+        eq == std::string_view::npos ? "all" : util::trim(field.substr(0, eq));
+    const std::string_view value = util::trim(
+        eq == std::string_view::npos ? field : field.substr(eq + 1));
+
+    if (name == "seed") {
+      const auto seed = util::parse_u64(value);
+      if (!seed) return fail("chaos: seed expects an integer, got '" +
+                             std::string(value) + "'");
+      config.seed = *seed;
+      continue;
+    }
+
+    const auto rate = parse_rate(value);
+    if (!rate) {
+      return fail("chaos: '" + std::string(value) +
+                  "' is not a rate in [0,1] (use 0.02 or 2%)");
+    }
+    if (name == "all") {
+      config.truncate_stack = config.drop_extension = config.duplicate_ttl =
+          config.reorder_ttl = config.bogus_ip2as =
+              config.monitor_blackout = config.flip_byte = *rate;
+    } else if (name == "stack") {
+      config.truncate_stack = *rate;
+    } else if (name == "noext") {
+      config.drop_extension = *rate;
+    } else if (name == "dupttl") {
+      config.duplicate_ttl = *rate;
+    } else if (name == "reorder") {
+      config.reorder_ttl = *rate;
+    } else if (name == "ip2as") {
+      config.bogus_ip2as = *rate;
+    } else if (name == "blackout") {
+      config.monitor_blackout = *rate;
+    } else if (name == "flip") {
+      config.flip_byte = *rate;
+    } else if (name == "fail") {
+      config.cycle_failure = *rate;
+    } else {
+      return fail("chaos: unknown fault '" + std::string(name) +
+                  "' (stack, noext, dupttl, reorder, ip2as, blackout, flip, "
+                  "fail, seed, all)");
+    }
+  }
+  return config;
+}
+
+ChaosStats& ChaosStats::merge(const ChaosStats& other) noexcept {
+  stacks_truncated += other.stacks_truncated;
+  extensions_dropped += other.extensions_dropped;
+  hops_duplicated += other.hops_duplicated;
+  hops_reordered += other.hops_reordered;
+  asns_scrambled += other.asns_scrambled;
+  monitors_blacked_out += other.monitors_blacked_out;
+  traces_dropped += other.traces_dropped;
+  bytes_flipped += other.bytes_flipped;
+  cycles_failed += other.cycles_failed;
+  return *this;
+}
+
+void Corruptor::corrupt(dataset::Snapshot& snapshot) {
+  if (!config_.any_structural()) return;
+  util::Rng rng(util::hash_combine(
+      config_.seed,
+      util::hash_combine(kStructuralTag,
+                         util::hash_combine(snapshot.cycle_id,
+                                            snapshot.sub_index))));
+
+  // Monitor blackouts first: a dead monitor contributes nothing, so its
+  // traces must not consume per-trace draws (keeps the surviving traces'
+  // corruption independent of which monitors died).
+  if (config_.monitor_blackout > 0) {
+    std::set<std::uint32_t> fleet;
+    for (const dataset::Trace& t : snapshot.traces) fleet.insert(t.monitor_id);
+    std::set<std::uint32_t> dead;
+    for (const std::uint32_t monitor : fleet) {
+      if (rng.chance(config_.monitor_blackout)) dead.insert(monitor);
+    }
+    if (!dead.empty()) {
+      const std::size_t before = snapshot.traces.size();
+      std::erase_if(snapshot.traces, [&](const dataset::Trace& t) {
+        return dead.contains(t.monitor_id);
+      });
+      stats_.monitors_blacked_out += dead.size();
+      stats_.traces_dropped += before - snapshot.traces.size();
+    }
+  }
+
+  for (dataset::Trace& trace : snapshot.traces) {
+    if (config_.duplicate_ttl > 0 && !trace.hops.empty() &&
+        rng.chance(config_.duplicate_ttl)) {
+      const std::size_t at =
+          static_cast<std::size_t>(rng.below(trace.hops.size()));
+      trace.hops.insert(trace.hops.begin() + static_cast<std::ptrdiff_t>(at),
+                        trace.hops[at]);
+      ++stats_.hops_duplicated;
+    }
+    if (config_.reorder_ttl > 0 && trace.hops.size() >= 2 &&
+        rng.chance(config_.reorder_ttl)) {
+      const std::size_t at =
+          static_cast<std::size_t>(rng.below(trace.hops.size() - 1));
+      std::swap(trace.hops[at], trace.hops[at + 1]);
+      ++stats_.hops_reordered;
+    }
+    for (dataset::TraceHop& hop : trace.hops) {
+      if (hop.has_labels()) {
+        if (config_.drop_extension > 0 &&
+            rng.chance(config_.drop_extension)) {
+          hop.labels = net::LabelStack();
+          ++stats_.extensions_dropped;
+        } else if (config_.truncate_stack > 0 &&
+                   rng.chance(config_.truncate_stack)) {
+          // Keep a strict prefix of the stack (possibly empty).
+          auto entries = hop.labels.entries();
+          entries.resize(static_cast<std::size_t>(
+              rng.below(hop.labels.depth())));
+          hop.labels = net::LabelStack(std::move(entries));
+          ++stats_.stacks_truncated;
+        }
+      }
+      if (config_.bogus_ip2as > 0 && !hop.anonymous() && hop.asn != 0 &&
+          rng.chance(config_.bogus_ip2as)) {
+        // Remap into a private-use ASN no generated AS occupies.
+        hop.asn = 64512 + static_cast<std::uint32_t>(rng.below(1024));
+        ++stats_.asns_scrambled;
+      }
+    }
+  }
+}
+
+void Corruptor::corrupt_bytes(std::string& bytes, std::uint64_t key) {
+  if (config_.flip_byte <= 0) return;
+  util::Rng rng(util::hash_combine(config_.seed,
+                                   util::hash_combine(kWireTag, key)));
+  constexpr std::size_t kHeaderBytes = 5;  // magic + version stay intact
+  for (std::size_t i = kHeaderBytes; i < bytes.size(); ++i) {
+    if (rng.chance(config_.flip_byte)) {
+      bytes[i] = static_cast<char>(
+          static_cast<unsigned char>(bytes[i]) ^
+          (1u << static_cast<unsigned>(rng.below(8))));
+      ++stats_.bytes_flipped;
+    }
+  }
+}
+
+bool Corruptor::should_fail_cycle(int cycle) {
+  if (config_.cycle_failure <= 0) return false;
+  util::Rng rng(util::hash_combine(
+      config_.seed,
+      util::hash_combine(kFailTag, static_cast<std::uint64_t>(cycle))));
+  if (!rng.chance(config_.cycle_failure)) return false;
+  ++stats_.cycles_failed;
+  return true;
+}
+
+}  // namespace mum::chaos

@@ -39,6 +39,13 @@ util::Histogram symmetry_distribution(const std::vector<IotpRecord>& records,
   return h;
 }
 
+double safe_ratio(std::uint64_t numerator,
+                  std::uint64_t denominator) noexcept {
+  return denominator == 0 ? 0.0
+                          : static_cast<double>(numerator) /
+                                static_cast<double>(denominator);
+}
+
 double balanced_share(const std::vector<IotpRecord>& records,
                       TunnelClass only) {
   std::uint64_t total = 0;
@@ -48,9 +55,7 @@ double balanced_share(const std::vector<IotpRecord>& records,
     ++total;
     if (rec.symmetry == 0) ++balanced;
   }
-  return total == 0 ? 0.0
-                    : static_cast<double>(balanced) /
-                          static_cast<double>(total);
+  return safe_ratio(balanced, total);
 }
 
 }  // namespace mum::lpr

@@ -23,6 +23,13 @@ util::Histogram symmetry_distribution(const std::vector<IotpRecord>& records);
 util::Histogram symmetry_distribution(const std::vector<IotpRecord>& records,
                                       TunnelClass only);
 
+// Guarded ratio: numerator / denominator, or exactly 0.0 when the
+// denominator is zero. Every report-facing share goes through this so an
+// empty cycle (zero complete LSPs after filtering) emits explicit zeros
+// instead of NaN — tolerant-mode JSON must stay valid no matter how much
+// data the decoder had to drop.
+double safe_ratio(std::uint64_t numerator, std::uint64_t denominator) noexcept;
+
 // Share of balanced IOTPs (symmetry == 0) within one class.
 double balanced_share(const std::vector<IotpRecord>& records,
                       TunnelClass only);

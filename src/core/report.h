@@ -17,6 +17,7 @@
 #include "core/classify.h"
 #include "core/extract.h"
 #include "core/filters.h"
+#include "dataset/decode.h"
 #include "dataset/ip2as.h"
 #include "dataset/trace.h"
 #include "util/thread_pool.h"
@@ -46,6 +47,9 @@ struct CycleReport : Report {
   std::map<std::uint32_t, ClassCounts> per_as;   // keyed by ASN
   std::map<std::uint32_t, bool> dynamic_as;      // Persistence reinjection tag
   std::vector<IotpRecord> iotps;                 // classified records
+  // Ingest health: what the decoder salvaged vs skipped for this cycle's
+  // snapshots (empty/clean when the data never went through tolerant decode).
+  dataset::DecodeDiagnostics decode;
 
   // Convenience: counts for one AS (zeroes when absent).
   ClassCounts as_counts(std::uint32_t asn) const;

@@ -2,6 +2,7 @@
 // the text tables, for external plotting of the paper's figures.
 #include "core/report_json.h"
 
+#include "core/metrics.h"
 #include "util/json.h"
 
 namespace mum::lpr {
@@ -9,14 +10,23 @@ namespace mum::lpr {
 namespace {
 
 void write_counts(util::JsonWriter& json, const ClassCounts& counts) {
+  const std::uint64_t total = counts.total();
   json.begin_object();
-  json.field("total", counts.total());
+  json.field("total", total);
   json.field("mono_lsp", counts.mono_lsp);
   json.field("multi_fec", counts.multi_fec);
   json.field("mono_fec", counts.mono_fec);
   json.field("parallel_links", counts.parallel_links);
   json.field("routers_disjoint", counts.routers_disjoint);
   json.field("unclassified", counts.unclassified);
+  // Class shares, guarded: an empty cycle emits explicit zeros, never NaN.
+  json.key("shares");
+  json.begin_object();
+  json.field("mono_lsp", safe_ratio(counts.mono_lsp, total));
+  json.field("multi_fec", safe_ratio(counts.multi_fec, total));
+  json.field("mono_fec", safe_ratio(counts.mono_fec, total));
+  json.field("unclassified", safe_ratio(counts.unclassified, total));
+  json.end_object();
   json.end_object();
 }
 
@@ -66,6 +76,11 @@ std::string CycleReport::to_json(bool include_iotps) const {
   write_counts(json, global);
   json.key("per_as");
   write_per_as(json, *this);
+
+  if (!decode.clean()) {
+    json.key("decode");
+    decode.write_json(json);
+  }
 
   if (include_iotps) {
     json.key("iotps");

@@ -10,7 +10,13 @@ namespace mum::dataset {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'U', 'M', 'W'};
-constexpr std::uint8_t kVersion = 1;
+
+// Minimum encoded sizes, used to validate count claims before allocating:
+// a hop is at least addr(4) + rtt(4) + n_lse(1), a trace at least
+// monitor(1) + src(4) + dst(4) + reached(1) + n_hops(1).
+constexpr std::size_t kMinHopBytes = 9;
+constexpr std::size_t kMinTraceBytes = 11;
+constexpr std::size_t kMinLseBytes = 4;
 
 void put_u8(std::string& out, std::uint8_t v) {
   out.push_back(static_cast<char>(v));
@@ -22,13 +28,15 @@ void put_u32(std::string& out, std::uint32_t v) {
   }
 }
 
-std::optional<std::uint8_t> get_u8(const std::string& in, std::size_t& pos) {
-  if (pos >= in.size()) return std::nullopt;
+std::optional<std::uint8_t> get_u8(const std::string& in, std::size_t& pos,
+                                   std::size_t limit) {
+  if (pos >= limit) return std::nullopt;
   return static_cast<std::uint8_t>(in[pos++]);
 }
 
-std::optional<std::uint32_t> get_u32(const std::string& in, std::size_t& pos) {
-  if (pos + 4 > in.size()) return std::nullopt;
+std::optional<std::uint32_t> get_u32(const std::string& in, std::size_t& pos,
+                                     std::size_t limit) {
+  if (pos + 4 > limit) return std::nullopt;
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[pos + i]))
@@ -43,13 +51,94 @@ void put_string(std::string& out, const std::string& s) {
   out.append(s);
 }
 
-std::optional<std::string> get_string(const std::string& in,
-                                      std::size_t& pos) {
-  const auto len = get_varint(in, pos);
-  if (!len || pos + *len > in.size()) return std::nullopt;
+std::optional<std::string> get_string(const std::string& in, std::size_t& pos,
+                                      std::size_t limit) {
+  const auto len = get_varint(in, pos, limit);
+  if (!len || *len > limit - pos) return std::nullopt;
   std::string s = in.substr(pos, *len);
   pos += *len;
   return s;
+}
+
+void serialize_trace(std::string& out, const Trace& t) {
+  put_varint(out, t.monitor_id);
+  put_u32(out, t.src.value());
+  put_u32(out, t.dst.value());
+  put_u8(out, t.reached ? 1 : 0);
+  put_varint(out, t.hops.size());
+  for (const TraceHop& h : t.hops) {
+    put_u32(out, h.addr.value());
+    put_u32(out, static_cast<std::uint32_t>(std::lround(h.rtt_ms * 1000.0)));
+    put_varint(out, h.labels.depth());
+    for (const auto& lse : h.labels.entries()) put_u32(out, lse.encode());
+  }
+}
+
+// Decode one trace from [pos, limit). On malformation, records one fault in
+// `diag` (class, offset of the failing field, record index) and returns
+// nullopt — the caller decides whether that aborts (strict) or skips
+// (tolerant).
+std::optional<Trace> decode_trace(const std::string& in, std::size_t& pos,
+                                  std::size_t limit, std::uint64_t record,
+                                  DecodeDiagnostics& diag) {
+  Trace t;
+  std::size_t field = pos;
+  const auto monitor = get_varint(in, pos, limit);
+  const auto src = get_u32(in, pos, limit);
+  const auto dst = get_u32(in, pos, limit);
+  const auto reached = get_u8(in, pos, limit);
+  const auto n_hops = get_varint(in, pos, limit);
+  if (!monitor || !src || !dst || !reached || !n_hops) {
+    diag.add_fault(FaultClass::kBadTraceHeader, field, record,
+                   "trace header truncated");
+    return std::nullopt;
+  }
+  if (*n_hops > (limit - pos) / kMinHopBytes) {
+    diag.add_fault(FaultClass::kOversizedClaim, field, record,
+                   "hop count " + std::to_string(*n_hops) +
+                       " exceeds remaining bytes");
+    return std::nullopt;
+  }
+  t.monitor_id = static_cast<std::uint32_t>(*monitor);
+  t.src = net::Ipv4Addr(*src);
+  t.dst = net::Ipv4Addr(*dst);
+  t.reached = (*reached != 0);
+  t.hops.reserve(static_cast<std::size_t>(*n_hops));
+  for (std::uint64_t h = 0; h < *n_hops; ++h) {
+    TraceHop hop;
+    field = pos;
+    const auto addr = get_u32(in, pos, limit);
+    const auto rtt = get_u32(in, pos, limit);
+    const auto n_lse = get_varint(in, pos, limit);
+    if (!addr || !rtt || !n_lse) {
+      diag.add_fault(FaultClass::kBadHop, field, record,
+                     "hop " + std::to_string(h) + " truncated");
+      return std::nullopt;
+    }
+    if (*n_lse > (limit - pos) / kMinLseBytes) {
+      diag.add_fault(FaultClass::kOversizedClaim, field, record,
+                     "label stack depth " + std::to_string(*n_lse) +
+                         " exceeds remaining bytes");
+      return std::nullopt;
+    }
+    hop.addr = net::Ipv4Addr(*addr);
+    hop.rtt_ms = static_cast<double>(*rtt) / 1000.0;
+    std::vector<net::LabelStackEntry> entries;
+    entries.reserve(static_cast<std::size_t>(*n_lse));
+    for (std::uint64_t s = 0; s < *n_lse; ++s) {
+      field = pos;
+      const auto word = get_u32(in, pos, limit);
+      if (!word) {
+        diag.add_fault(FaultClass::kBadLabelStack, field, record,
+                       "label stack truncated");
+        return std::nullopt;
+      }
+      entries.push_back(net::LabelStackEntry::decode(*word));
+    }
+    hop.labels = net::LabelStack(std::move(entries));
+    t.hops.push_back(std::move(hop));
+  }
+  return t;
 }
 
 }  // namespace
@@ -64,9 +153,14 @@ void put_varint(std::string& out, std::uint64_t value) {
 
 std::optional<std::uint64_t> get_varint(const std::string& in,
                                         std::size_t& pos) {
+  return get_varint(in, pos, in.size());
+}
+
+std::optional<std::uint64_t> get_varint(const std::string& in,
+                                        std::size_t& pos, std::size_t limit) {
   std::uint64_t value = 0;
   int shift = 0;
-  while (pos < in.size()) {
+  while (pos < limit) {
     const auto byte = static_cast<unsigned char>(in[pos++]);
     if (shift >= 64 || (shift == 63 && (byte & 0x7e))) return std::nullopt;
     value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
@@ -76,87 +170,169 @@ std::optional<std::uint64_t> get_varint(const std::string& in,
   return std::nullopt;  // truncated
 }
 
-std::string serialize_snapshot(const Snapshot& snapshot) {
+std::string serialize_snapshot(const Snapshot& snapshot,
+                               std::uint8_t version) {
   std::string out;
   out.append(kMagic, sizeof kMagic);
-  put_u8(out, kVersion);
+  put_u8(out, version);
   put_varint(out, snapshot.cycle_id);
   put_varint(out, snapshot.sub_index);
   put_string(out, snapshot.date);
   put_varint(out, snapshot.traces.size());
+  std::string record;
   for (const Trace& t : snapshot.traces) {
-    put_varint(out, t.monitor_id);
-    put_u32(out, t.src.value());
-    put_u32(out, t.dst.value());
-    put_u8(out, t.reached ? 1 : 0);
-    put_varint(out, t.hops.size());
-    for (const TraceHop& h : t.hops) {
-      put_u32(out, h.addr.value());
-      put_u32(out, static_cast<std::uint32_t>(std::lround(h.rtt_ms * 1000.0)));
-      put_varint(out, h.labels.depth());
-      for (const auto& lse : h.labels.entries()) put_u32(out, lse.encode());
+    if (version >= 2) {
+      record.clear();
+      serialize_trace(record, t);
+      put_varint(out, record.size());
+      out.append(record);
+    } else {
+      serialize_trace(out, t);
     }
   }
   return out;
 }
 
-std::optional<Snapshot> parse_snapshot(const std::string& bytes) {
+std::string serialize_snapshot(const Snapshot& snapshot) {
+  return serialize_snapshot(snapshot, kWartsLiteVersion);
+}
+
+std::optional<Snapshot> parse_snapshot(const std::string& bytes,
+                                       const DecodeOptions& options,
+                                       DecodeDiagnostics* diagnostics) {
+  DecodeDiagnostics scratch;
+  DecodeDiagnostics& diag = diagnostics != nullptr ? *diagnostics : scratch;
+  const std::size_t size = bytes.size();
+
   std::size_t pos = 0;
-  if (bytes.size() < sizeof kMagic + 1 ||
+  if (size < sizeof kMagic + 1 ||
       bytes.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    diag.add_fault(FaultClass::kBadMagic, 0, 0,
+                   "missing MUMW magic — not a warts-lite container");
     return std::nullopt;
   }
   pos = sizeof kMagic;
-  const auto version = get_u8(bytes, pos);
-  if (!version || *version != kVersion) return std::nullopt;
+  const std::uint8_t version = static_cast<std::uint8_t>(bytes[pos++]);
+  if (version < 1 || version > kWartsLiteVersion) {
+    diag.add_fault(FaultClass::kBadVersion, sizeof kMagic, 0,
+                   "unsupported version " + std::to_string(version));
+    return std::nullopt;
+  }
+  const bool framed = version >= 2;
 
   Snapshot snap;
+  std::size_t field = pos;
   const auto cycle_id = get_varint(bytes, pos);
   const auto sub_index = get_varint(bytes, pos);
-  if (!cycle_id || !sub_index) return std::nullopt;
+  // Header faults past the magic/version: the container is recognizable, so
+  // tolerant mode keeps its promise and returns what decoded (an empty
+  // snapshot) with the fault on record; only strict mode aborts.
+  if (!cycle_id || !sub_index) {
+    diag.add_fault(FaultClass::kTruncatedHeader, field, 0,
+                   "snapshot header truncated");
+    if (!options.tolerant) return std::nullopt;
+    return snap;
+  }
   snap.cycle_id = static_cast<std::uint32_t>(*cycle_id);
   snap.sub_index = static_cast<std::uint32_t>(*sub_index);
-  const auto date = get_string(bytes, pos);
-  if (!date) return std::nullopt;
+  field = pos;
+  const auto date = get_string(bytes, pos, size);
+  if (!date) {
+    diag.add_fault(FaultClass::kTruncatedHeader, field, 0,
+                   "date string truncated");
+    if (!options.tolerant) return std::nullopt;
+    return snap;
+  }
   snap.date = *date;
 
+  field = pos;
   const auto n_traces = get_varint(bytes, pos);
-  if (!n_traces) return std::nullopt;
-  snap.traces.reserve(static_cast<std::size_t>(*n_traces));
+  if (!n_traces) {
+    diag.add_fault(FaultClass::kTruncatedHeader, field, 0,
+                   "trace count truncated");
+    if (!options.tolerant) return std::nullopt;
+    return snap;
+  }
+  // Validate the claim before allocating: the remaining bytes bound how many
+  // records can possibly follow. An inflated claim is a fault of its own in
+  // strict mode; tolerant mode records it and decodes what is actually there.
+  const std::uint64_t max_traces = (size - pos) / kMinTraceBytes;
+  const bool claim_credible = *n_traces <= max_traces;
+  if (!claim_credible) {
+    diag.add_fault(FaultClass::kOversizedClaim, field, 0,
+                   "trace count " + std::to_string(*n_traces) +
+                       " exceeds remaining bytes");
+    if (!options.tolerant) return std::nullopt;
+  }
+  snap.traces.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(*n_traces,
+                                                       max_traces)));
+
   for (std::uint64_t i = 0; i < *n_traces; ++i) {
-    Trace t;
-    const auto monitor = get_varint(bytes, pos);
-    const auto src = get_u32(bytes, pos);
-    const auto dst = get_u32(bytes, pos);
-    const auto reached = get_u8(bytes, pos);
-    const auto n_hops = get_varint(bytes, pos);
-    if (!monitor || !src || !dst || !reached || !n_hops) return std::nullopt;
-    t.monitor_id = static_cast<std::uint32_t>(*monitor);
-    t.src = net::Ipv4Addr(*src);
-    t.dst = net::Ipv4Addr(*dst);
-    t.reached = (*reached != 0);
-    t.hops.reserve(static_cast<std::size_t>(*n_hops));
-    for (std::uint64_t h = 0; h < *n_hops; ++h) {
-      TraceHop hop;
-      const auto addr = get_u32(bytes, pos);
-      const auto rtt = get_u32(bytes, pos);
-      const auto n_lse = get_varint(bytes, pos);
-      if (!addr || !rtt || !n_lse) return std::nullopt;
-      hop.addr = net::Ipv4Addr(*addr);
-      hop.rtt_ms = static_cast<double>(*rtt) / 1000.0;
-      std::vector<net::LabelStackEntry> entries;
-      entries.reserve(static_cast<std::size_t>(*n_lse));
-      for (std::uint64_t s = 0; s < *n_lse; ++s) {
-        const auto word = get_u32(bytes, pos);
-        if (!word) return std::nullopt;
-        entries.push_back(net::LabelStackEntry::decode(*word));
-      }
-      hop.labels = net::LabelStack(std::move(entries));
-      t.hops.push_back(std::move(hop));
+    if (pos >= size) {
+      // The file ends before the claimed record count. When the claim was
+      // credible, the missing tail counts as skipped records; an already
+      // flagged oversized claim proves nothing was really there.
+      diag.add_fault(FaultClass::kRecordOverrun, pos, i,
+                     "file ends at record " + std::to_string(i) + " of " +
+                         std::to_string(*n_traces));
+      if (claim_credible) diag.records_skipped += *n_traces - i;
+      if (!options.tolerant) return std::nullopt;
+      break;
     }
-    snap.traces.push_back(std::move(t));
+    std::size_t limit = size;
+    std::size_t record_end = 0;
+    if (framed) {
+      field = pos;
+      const auto frame = get_varint(bytes, pos);
+      if (!frame || *frame > size - pos) {
+        diag.add_fault(FaultClass::kRecordOverrun, field, i,
+                       "record frame exceeds remaining bytes");
+        if (claim_credible) diag.records_skipped += *n_traces - i;
+        if (!options.tolerant) return std::nullopt;
+        break;  // framing is untrustworthy beyond this point
+      }
+      record_end = pos + static_cast<std::size_t>(*frame);
+      limit = record_end;
+    }
+
+    DecodeDiagnostics attempt;
+    std::size_t trace_pos = pos;
+    auto trace = decode_trace(bytes, trace_pos, limit, i, attempt);
+    if (trace && framed && trace_pos != record_end) {
+      attempt.add_fault(FaultClass::kTrailingBytes, trace_pos, i,
+                        std::to_string(record_end - trace_pos) +
+                            " unconsumed bytes in record");
+      trace.reset();  // half-trusted payload: treat the record as malformed
+    }
+    diag.merge(attempt);
+
+    if (trace) {
+      snap.traces.push_back(std::move(*trace));
+      ++diag.records_decoded;
+      pos = framed ? record_end : trace_pos;
+    } else if (!options.tolerant) {
+      return std::nullopt;
+    } else if (framed) {
+      ++diag.records_skipped;  // resync at the next record boundary
+      pos = record_end;
+    } else {
+      // v1 has no framing: nothing downstream of a fault can be trusted.
+      if (claim_credible) diag.records_skipped += *n_traces - i;
+      break;
+    }
+  }
+
+  if (pos != size) {
+    diag.add_fault(FaultClass::kTrailingBytes, pos, *n_traces,
+                   std::to_string(size - pos) + " bytes after last record");
+    if (!options.tolerant) return std::nullopt;
   }
   return snap;
+}
+
+std::optional<Snapshot> parse_snapshot(const std::string& bytes) {
+  return parse_snapshot(bytes, DecodeOptions{}, nullptr);
 }
 
 void write_snapshot(std::ostream& os, const Snapshot& snapshot) {
@@ -164,10 +340,16 @@ void write_snapshot(std::ostream& os, const Snapshot& snapshot) {
   os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
-std::optional<Snapshot> read_snapshot(std::istream& is) {
+std::optional<Snapshot> read_snapshot(std::istream& is,
+                                      const DecodeOptions& options,
+                                      DecodeDiagnostics* diagnostics) {
   std::ostringstream buffer;
   buffer << is.rdbuf();
-  return parse_snapshot(buffer.str());
+  return parse_snapshot(buffer.str(), options, diagnostics);
+}
+
+std::optional<Snapshot> read_snapshot(std::istream& is) {
+  return read_snapshot(is, DecodeOptions{}, nullptr);
 }
 
 std::string to_text(const Trace& trace) {

@@ -8,10 +8,16 @@
 //
 //   file  := magic "MUMW" u8 version | snapshot
 //   snapshot := varint cycle_id | varint sub_index | string date
-//               varint n_traces | trace*
+//               varint n_traces | record*
+//   record := varint byte_len | trace          (v2; v1 had no framing)
 //   trace := varint monitor | u32 src | u32 dst | u8 reached
 //            varint n_hops | hop*
 //   hop   := u32 addr | f32-as-u32 rtt_x1000 | varint n_lse | u32 lse*
+//
+// The v2 per-record byte framing exists for fault tolerance: a corrupted
+// record can be skipped and decoding resumes at the next record boundary.
+// v1 files (no framing) still read, but a mid-stream fault abandons the
+// remaining records. See decode.h for the strict/tolerant contract.
 //
 // (AS annotations are not persisted; they are recomputed from the IP2AS
 // table on load, as the paper does with Routeviews snapshots.)
@@ -23,18 +29,40 @@
 #include <string>
 #include <vector>
 
+#include "dataset/decode.h"
 #include "dataset/trace.h"
 
 namespace mum::dataset {
 
+// Current write version. Readers accept 1 (unframed) and 2 (framed).
+inline constexpr std::uint8_t kWartsLiteVersion = 2;
+
 // --- binary -----------------------------------------------------------
 
 void write_snapshot(std::ostream& os, const Snapshot& snapshot);
-// Returns nullopt on malformed input (bad magic/version/truncation).
-std::optional<Snapshot> read_snapshot(std::istream& is);
 
 std::string serialize_snapshot(const Snapshot& snapshot);
+// Serialize at an explicit format version (1 or 2) — for compatibility
+// tests and for producing archives older readers understand.
+std::string serialize_snapshot(const Snapshot& snapshot,
+                               std::uint8_t version);
+
+// Strict decode: nullopt on the first malformed field (bad magic/version/
+// truncation). Equivalent to the options overload with default options.
+std::optional<Snapshot> read_snapshot(std::istream& is);
 std::optional<Snapshot> parse_snapshot(const std::string& bytes);
+
+// Mode-aware decode. Strict mode returns nullopt on the first fault;
+// tolerant mode skips malformed records (never throws on arbitrary bytes)
+// and returns whatever decoded, nullopt only when the container itself is
+// unrecognizable (bad magic/version). Faults land in `diagnostics` when
+// provided — including the exact byte offset of a strict-mode failure.
+std::optional<Snapshot> parse_snapshot(const std::string& bytes,
+                                       const DecodeOptions& options,
+                                       DecodeDiagnostics* diagnostics);
+std::optional<Snapshot> read_snapshot(std::istream& is,
+                                      const DecodeOptions& options,
+                                      DecodeDiagnostics* diagnostics);
 
 // --- text -------------------------------------------------------------
 
@@ -43,11 +71,14 @@ std::optional<Snapshot> parse_snapshot(const std::string& bytes);
 std::string to_text(const Trace& trace);
 std::string to_text(const Snapshot& snapshot);
 
-// --- varint helpers (exposed for tests) --------------------------------
+// --- varint helpers (exposed for tests and sibling formats) ------------
 
 void put_varint(std::string& out, std::uint64_t value);
 // Reads a varint at `pos`, advancing it; nullopt on truncation/overflow.
 std::optional<std::uint64_t> get_varint(const std::string& in,
                                         std::size_t& pos);
+// Same, bounded: never reads at or beyond `limit`.
+std::optional<std::uint64_t> get_varint(const std::string& in,
+                                        std::size_t& pos, std::size_t limit);
 
 }  // namespace mum::dataset

@@ -134,25 +134,4 @@ std::vector<dataset::Snapshot> CampaignRunner::daily_month(int cycle,
   return out;
 }
 
-dataset::Snapshot generate_snapshot(const Internet& internet,
-                                    MonthContext& ctx,
-                                    const dataset::Ip2As& ip2as, int cycle,
-                                    int sub_index,
-                                    const CampaignConfig& config) {
-  return CampaignRunner(internet, ip2as, config)
-      .snapshot(ctx, cycle, sub_index);
-}
-
-dataset::MonthData generate_month(const Internet& internet,
-                                  const dataset::Ip2As& ip2as, int cycle,
-                                  const CampaignConfig& config) {
-  return CampaignRunner(internet, ip2as, config).month(cycle);
-}
-
-std::vector<dataset::Snapshot> generate_daily_month(
-    const Internet& internet, const dataset::Ip2As& ip2as, int cycle,
-    int days, const CampaignConfig& config) {
-  return CampaignRunner(internet, ip2as, config).daily_month(cycle, days);
-}
-
 }  // namespace mum::gen

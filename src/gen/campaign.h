@@ -67,25 +67,4 @@ class CampaignRunner {
   util::ThreadPool* pool_;
 };
 
-// --- deprecated free-function shims -------------------------------------
-// The pre-CampaignRunner entry points, kept for one PR so out-of-tree
-// callers keep compiling. Each constructs a serial CampaignRunner per call.
-
-[[deprecated("use gen::CampaignRunner::snapshot")]]
-dataset::Snapshot generate_snapshot(const Internet& internet,
-                                    MonthContext& ctx,
-                                    const dataset::Ip2As& ip2as, int cycle,
-                                    int sub_index,
-                                    const CampaignConfig& config);
-
-[[deprecated("use gen::CampaignRunner::month")]]
-dataset::MonthData generate_month(const Internet& internet,
-                                  const dataset::Ip2As& ip2as, int cycle,
-                                  const CampaignConfig& config);
-
-[[deprecated("use gen::CampaignRunner::daily_month")]]
-std::vector<dataset::Snapshot> generate_daily_month(
-    const Internet& internet, const dataset::Ip2As& ip2as, int cycle,
-    int days, const CampaignConfig& config);
-
 }  // namespace mum::gen

@@ -1,0 +1,35 @@
+// Per-cycle checkpoints: a complete binary round-trip of lpr::CycleReport.
+//
+// A checkpointed campaign writes one file per finished cycle; a killed run
+// restarted with resume skips those cycles and splices the stored reports
+// back in. Because the serialization covers every CycleReport field, the
+// resumed run's final report is byte-identical to an uninterrupted one.
+//
+// Crash-proofing: files are written to a temp name and renamed into place
+// (a kill mid-write leaves no half-file under the checkpoint name), and the
+// payload carries an FNV-1a checksum — a corrupt or truncated checkpoint
+// fails to load and the cycle is simply recomputed.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/report.h"
+
+namespace mum::run {
+
+std::string serialize_cycle_report(const lpr::CycleReport& report);
+// nullopt on bad magic/version/truncation/checksum mismatch.
+std::optional<lpr::CycleReport> parse_cycle_report(const std::string& bytes);
+
+// Filename (not path) of cycle N's checkpoint: "cycle_<N+1>.mumc".
+std::string checkpoint_filename(int cycle);
+
+// Atomic write (temp + rename). Returns false on any I/O failure.
+bool write_checkpoint_file(const std::string& dir, int cycle,
+                           const lpr::CycleReport& report);
+// nullopt when missing, unreadable, or corrupt — callers recompute.
+std::optional<lpr::CycleReport> load_checkpoint_file(const std::string& dir,
+                                                     int cycle);
+
+}  // namespace mum::run

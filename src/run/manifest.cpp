@@ -1,0 +1,85 @@
+#include "run/manifest.h"
+
+#include "util/json.h"
+
+namespace mum::run {
+
+const char* to_cstring(CycleOutcome outcome) noexcept {
+  switch (outcome) {
+    case CycleOutcome::kOk: return "ok";
+    case CycleOutcome::kFromCheckpoint: return "from_checkpoint";
+    case CycleOutcome::kFailed: return "failed";
+    case CycleOutcome::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+std::size_t RunManifest::count(CycleOutcome outcome) const noexcept {
+  std::size_t n = 0;
+  for (const CycleStatus& status : cycles) {
+    if (status.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+chaos::ChaosStats RunManifest::chaos_total() const noexcept {
+  chaos::ChaosStats total;
+  for (const CycleStatus& status : cycles) total.merge(status.chaos);
+  return total;
+}
+
+namespace {
+
+void write_chaos(util::JsonWriter& json, const chaos::ChaosStats& stats) {
+  json.begin_object();
+  json.field("total", stats.total());
+  json.field("stacks_truncated", stats.stacks_truncated);
+  json.field("extensions_dropped", stats.extensions_dropped);
+  json.field("hops_duplicated", stats.hops_duplicated);
+  json.field("hops_reordered", stats.hops_reordered);
+  json.field("asns_scrambled", stats.asns_scrambled);
+  json.field("monitors_blacked_out", stats.monitors_blacked_out);
+  json.field("traces_dropped", stats.traces_dropped);
+  json.field("bytes_flipped", stats.bytes_flipped);
+  json.field("cycles_failed", stats.cycles_failed);
+  json.end_object();
+}
+
+}  // namespace
+
+std::string RunManifest::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("first_cycle", first_cycle + 1);  // 1-based, as the paper counts
+  json.field("last_cycle", last_cycle + 1);
+  json.field("threads", static_cast<std::uint64_t>(threads));
+  json.field("complete", complete());
+  json.field("failure_budget_exceeded", failure_budget_exceeded);
+  json.field("ok", static_cast<std::uint64_t>(count(CycleOutcome::kOk)));
+  json.field("from_checkpoint", static_cast<std::uint64_t>(
+                                    count(CycleOutcome::kFromCheckpoint)));
+  json.field("failed",
+             static_cast<std::uint64_t>(count(CycleOutcome::kFailed)));
+  json.field("skipped",
+             static_cast<std::uint64_t>(count(CycleOutcome::kSkipped)));
+  json.key("chaos_total");
+  write_chaos(json, chaos_total());
+  json.key("cycles");
+  json.begin_array();
+  for (const CycleStatus& status : cycles) {
+    json.begin_object();
+    json.field("cycle", status.cycle + 1);
+    json.field("outcome", to_cstring(status.outcome));
+    if (!status.error.empty()) json.field("error", status.error);
+    if (status.chaos.total() > 0) {
+      json.key("chaos");
+      write_chaos(json, status.chaos);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace mum::run

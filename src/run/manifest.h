@@ -1,0 +1,54 @@
+// RunManifest: the structured record of what actually happened during a
+// campaign run — which cycles computed, which were restored from
+// checkpoints, which failed (and why), which were skipped once the failure
+// budget ran out, and how many chaos faults were injected where.
+//
+// The manifest is the error-containment counterpart of the report: the
+// report holds the science, the manifest holds the operational truth a
+// partial run must not hide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+
+namespace mum::run {
+
+enum class CycleOutcome : std::uint8_t {
+  kOk = 0,          // computed this run
+  kFromCheckpoint,  // restored from a checkpoint file (--resume)
+  kFailed,          // the worker threw; report slot is an empty placeholder
+  kSkipped,         // not attempted (failure budget exhausted / fail-fast)
+};
+const char* to_cstring(CycleOutcome outcome) noexcept;
+
+struct CycleStatus {
+  int cycle = 0;
+  CycleOutcome outcome = CycleOutcome::kOk;
+  std::string error;         // what() of the failure, empty otherwise
+  chaos::ChaosStats chaos;   // faults injected into this cycle's data
+};
+
+struct RunManifest {
+  int first_cycle = 0;
+  int last_cycle = 0;
+  unsigned threads = 1;
+  std::vector<CycleStatus> cycles;  // one per cycle, in cycle order
+  bool failure_budget_exceeded = false;
+
+  std::size_t count(CycleOutcome outcome) const noexcept;
+  // All cycles either computed or restored: the report is trustworthy
+  // end to end.
+  bool complete() const noexcept {
+    return count(CycleOutcome::kFailed) == 0 &&
+           count(CycleOutcome::kSkipped) == 0;
+  }
+  // Total chaos faults injected across all cycles.
+  chaos::ChaosStats chaos_total() const noexcept;
+
+  std::string to_json() const;
+};
+
+}  // namespace mum::run

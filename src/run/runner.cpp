@@ -1,7 +1,12 @@
 #include "run/runner.h"
 
+#include <atomic>
 #include <mutex>
 #include <ostream>
+
+#include "dataset/warts_lite.h"
+#include "run/checkpoint.h"
+#include "util/rng.h"
 
 namespace mum::run {
 
@@ -44,8 +49,49 @@ dataset::MonthData Runner::month_data(int cycle) const {
 }
 
 lpr::CycleReport Runner::run_cycle(int cycle) const {
-  return lpr::run_pipeline(month_data(cycle), ip2as_, config_.pipeline,
-                           pool_.get());
+  return run_cycle_chaos(cycle, nullptr);
+}
+
+lpr::CycleReport Runner::run_cycle_chaos(int cycle,
+                                         chaos::Corruptor* corruptor) const {
+  dataset::MonthData month = month_data(cycle);
+  dataset::DecodeDiagnostics decode;
+  if (corruptor != nullptr) {
+    for (std::size_t sub = 0; sub < month.snapshots.size(); ++sub) {
+      dataset::Snapshot& snapshot = month.snapshots[sub];
+      if (corruptor->config().flip_byte > 0) {
+        // Wire faults exercise the real ingest path: serialize, flip bits,
+        // tolerant-decode, keep whatever the decoder salvaged.
+        std::string bytes = dataset::serialize_snapshot(snapshot);
+        corruptor->corrupt_bytes(
+            bytes,
+            util::hash_combine(static_cast<std::uint64_t>(cycle), sub));
+        dataset::DecodeDiagnostics diag;
+        auto salvaged = dataset::parse_snapshot(
+            bytes, dataset::DecodeOptions{.tolerant = true}, &diag);
+        decode.merge(diag);
+        if (salvaged) {
+          // The runner knows which cycle it is processing; a flipped header
+          // field must not relabel the snapshot (or derail the structural
+          // fault keying below).
+          salvaged->cycle_id = snapshot.cycle_id;
+          salvaged->sub_index = snapshot.sub_index;
+          salvaged->date = snapshot.date;
+          // Serialization carries no ip2as annotations: re-annotate the
+          // survivors before the pipeline consumes them.
+          ip2as_.annotate(salvaged->traces);
+          snapshot = std::move(*salvaged);
+        } else {
+          snapshot.traces.clear();  // container unreadable: total loss
+        }
+      }
+      corruptor->corrupt(snapshot);
+    }
+  }
+  lpr::CycleReport report =
+      lpr::run_pipeline(month, ip2as_, config_.pipeline, pool_.get());
+  report.decode = std::move(decode);
+  return report;
 }
 
 lpr::LongitudinalReport Runner::run_all(std::ostream* progress) const {
@@ -70,6 +116,96 @@ lpr::LongitudinalReport Runner::run_all(std::ostream* progress) const {
     }
   });
   return report;
+}
+
+RunOutcome Runner::run_all_contained(std::ostream* progress) const {
+  const int first = config_.first_cycle;
+  const int last = config_.last_cycle;
+  const std::size_t n =
+      last >= first ? static_cast<std::size_t>(last - first + 1) : 0;
+
+  RunOutcome out;
+  out.report.cycles.resize(n);
+  out.manifest.first_cycle = first;
+  out.manifest.last_cycle = last;
+  out.manifest.threads = threads();
+  out.manifest.cycles.resize(n);
+
+  const bool data_chaos =
+      config_.chaos.any_structural() || config_.chaos.flip_byte > 0;
+  const bool checkpoints = !config_.checkpoint_dir.empty();
+
+  std::atomic<bool> abort{false};
+  std::atomic<bool> budget_exceeded{false};
+  std::atomic<int> failures{0};
+  std::mutex progress_mutex;
+
+  util::parallel_for(pool_.get(), n, [&](std::size_t i) {
+    const int cycle = first + static_cast<int>(i);
+    CycleStatus& status = out.manifest.cycles[i];
+    status.cycle = cycle;
+    lpr::CycleReport& slot = out.report.cycles[i];
+    // Deterministic placeholder: a failed or skipped cycle keeps its
+    // identity in the report, with zero counts.
+    slot.cycle_id = static_cast<std::uint32_t>(cycle);
+    slot.date = gen::cycle_date(cycle);
+
+    if (abort.load(std::memory_order_acquire)) {
+      status.outcome = CycleOutcome::kSkipped;
+      return;
+    }
+
+    if (config_.resume && checkpoints) {
+      if (auto restored =
+              load_checkpoint_file(config_.checkpoint_dir, cycle)) {
+        slot = std::move(*restored);
+        status.outcome = CycleOutcome::kFromCheckpoint;
+        return;
+      }
+      // Missing or corrupt checkpoint: recompute below.
+    }
+
+    chaos::Corruptor corruptor(config_.chaos);
+    try {
+      if (corruptor.should_fail_cycle(cycle)) {
+        throw chaos::ChaosError("injected failure in cycle " +
+                                std::to_string(cycle + 1));
+      }
+      slot = run_cycle_chaos(cycle, data_chaos ? &corruptor : nullptr);
+      status.outcome = CycleOutcome::kOk;
+      if (checkpoints) {
+        write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
+      }
+    } catch (const std::exception& e) {
+      status.outcome = CycleOutcome::kFailed;
+      status.error = e.what();
+      // Reset any partial state the worker produced before throwing.
+      slot = lpr::CycleReport{};
+      slot.cycle_id = static_cast<std::uint32_t>(cycle);
+      slot.date = gen::cycle_date(cycle);
+      const int failed =
+          failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+      const bool over_budget =
+          config_.failure_budget >= 0 && failed > config_.failure_budget;
+      if (over_budget) {
+        budget_exceeded.store(true, std::memory_order_release);
+      }
+      if (!config_.keep_going || over_budget) {
+        abort.store(true, std::memory_order_release);
+      }
+    }
+    status.chaos = corruptor.stats();
+
+    if (progress != nullptr && (cycle + 1) % 12 == 0) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      *progress << "  ... processed cycle " << cycle + 1 << " ("
+                << gen::cycle_date(cycle) << ")\n";
+    }
+  });
+
+  out.manifest.failure_budget_exceeded =
+      budget_exceeded.load(std::memory_order_acquire);
+  return out;
 }
 
 }  // namespace mum::run

@@ -17,10 +17,13 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <string>
 
+#include "chaos/chaos.h"
 #include "core/report.h"
 #include "gen/campaign.h"
 #include "gen/internet.h"
+#include "run/manifest.h"
 #include "util/thread_pool.h"
 
 namespace mum::run {
@@ -38,6 +41,30 @@ struct RunnerConfig {
   // Worker threads for cycle- and monitor-level parallelism: 0 = one per
   // hardware thread, 1 = fully serial. Output is identical either way.
   int threads = 0;
+
+  // --- fault injection & containment (run_all_contained only) -----------
+  // Chaos faults injected into each cycle's data (off by default). When
+  // flip_byte > 0, snapshots additionally round-trip through serialization +
+  // tolerant decode, and the decoder's diagnostics land in the cycle report.
+  chaos::ChaosConfig chaos;
+  // Containment policy: fail-fast (default) stops scheduling new cycles
+  // after the first failure; keep-going contains every failure until the
+  // budget runs out. Failed cycles keep a placeholder report slot either way.
+  bool keep_going = false;
+  // Max failed cycles tolerated under keep-going before the run aborts
+  // (remaining cycles are marked skipped); negative = unlimited.
+  int failure_budget = -1;
+  // When non-empty, each finished cycle writes <dir>/cycle_<N>.mumc and
+  // resume = true splices existing checkpoints in instead of recomputing —
+  // the resumed final report is byte-identical to an uninterrupted run.
+  std::string checkpoint_dir;
+  bool resume = false;
+};
+
+// What run_all_contained produces: the science and the operational record.
+struct RunOutcome {
+  lpr::LongitudinalReport report;
+  RunManifest manifest;
 };
 
 class Runner {
@@ -64,10 +91,25 @@ class Runner {
   // Run the whole configured cycle range; cycles execute in parallel when
   // threads > 1 and merge in cycle order. Progress lines (one per 12 cycles)
   // may interleave differently across thread counts; reports never do.
+  // A worker exception propagates — use run_all_contained to survive it.
   lpr::LongitudinalReport run_all(std::ostream* progress = nullptr) const;
+
+  // Containment variant: chaos injection, per-cycle error containment with
+  // the configured failure policy, checkpoints and resume. A failed cycle
+  // keeps a deterministic placeholder slot (cycle id + date, zero counts),
+  // so the final report stays byte-identical across thread counts whenever
+  // the set of attempted cycles is deterministic (always true under
+  // keep-going within budget, and for chaos-injected failures).
+  RunOutcome run_all_contained(std::ostream* progress = nullptr) const;
 
  private:
   gen::CampaignConfig campaign_for(int cycle) const;
+  // run_cycle plus optional chaos: structural faults mutate the month's
+  // snapshots in place; wire faults round-trip them through serialization
+  // and tolerant decode (re-annotating survivors), with the decoder's
+  // diagnostics merged into the report.
+  lpr::CycleReport run_cycle_chaos(int cycle,
+                                   chaos::Corruptor* corruptor) const;
 
   RunnerConfig config_;
   // Declared before internet_: the pool also parallelizes the per-AS IGP

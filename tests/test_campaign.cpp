@@ -103,24 +103,6 @@ TEST_F(CampaignTest, CampaignDeterministicForSameSeed) {
   }
 }
 
-TEST_F(CampaignTest, DeprecatedWrappersMatchRunner) {
-  // The free-function shims stay for one release; they must forward to the
-  // runner without drift.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto via_wrapper = generate_month(internet, ip2as, 50,
-                                          CampaignConfig{});
-#pragma GCC diagnostic pop
-  const auto via_runner = runner.month(50);
-  ASSERT_EQ(via_wrapper.snapshots.size(), via_runner.snapshots.size());
-  ASSERT_EQ(via_wrapper.cycle().trace_count(),
-            via_runner.cycle().trace_count());
-  for (std::size_t i = 0; i < via_wrapper.cycle().traces.size(); ++i) {
-    EXPECT_EQ(via_wrapper.cycle().traces[i].hops.size(),
-              via_runner.cycle().traces[i].hops.size());
-  }
-}
-
 TEST_F(CampaignTest, MostLspContentPersistsAcrossSnapshots) {
   // The Persistence filter depends on high-but-not-total overlap between a
   // month's snapshots.

@@ -223,5 +223,82 @@ TEST_F(CliPipeline, StatsRejectsGarbageFile) {
   EXPECT_NE(out.find("not a warts-lite snapshot"), std::string::npos);
 }
 
+// --- exit codes ------------------------------------------------------------
+
+TEST_F(CliPipeline, UsageErrorsExitOne) {
+  std::string out;
+  EXPECT_EQ(run_cmd({"frobnicate"}, &out), kExitUsage);
+  EXPECT_EQ(run_cmd({"generate", "--cycle", "5"}, &out), kExitUsage);
+  EXPECT_EQ(run_cmd({"generate", "--out", dir_.string(), "--cycle", "99"},
+                    &out),
+            kExitUsage);
+  EXPECT_EQ(run_cmd({"classify"}, &out), kExitUsage);  // --ip2as missing
+  EXPECT_EQ(run_cmd({"stats", "--bogus-flag", "x.mumw"}, &out), kExitUsage);
+  EXPECT_EQ(run_cmd({"campaign", "--cycles", "0"}, &out), kExitUsage);
+  EXPECT_EQ(run_cmd({"campaign", "--chaos", "bogus=1"}, &out), kExitUsage);
+  EXPECT_EQ(run_cmd({"stats", "--tolerant", "--strict", "x.mumw"}, &out),
+            kExitUsage);
+}
+
+TEST_F(CliPipeline, DataErrorsExitThree) {
+  std::string out;
+  EXPECT_EQ(run_cmd({"stats", (dir_ / "missing.mumw").string()}, &out),
+            kExitFatal);
+  const fs::path bogus = dir_ / "bogus.mumw";
+  std::ofstream(bogus) << "not a snapshot";
+  EXPECT_EQ(run_cmd({"stats", bogus.string()}, &out), kExitFatal);
+  // Tolerant mode cannot save a file that is not a container at all.
+  EXPECT_EQ(run_cmd({"stats", "--tolerant", bogus.string()}, &out),
+            kExitFatal);
+}
+
+TEST_F(CliPipeline, TolerantSalvagesTruncatedSnapshot) {
+  std::string out;
+  ASSERT_EQ(run_cmd({"generate", "--out", dir_.string(), "--cycle", "50",
+                     "--small", "--snapshots", "1"},
+                    &out),
+            kExitOk)
+      << out;
+  const auto files = snapshot_files();
+  ASSERT_EQ(files.size(), 1u);
+
+  // Chop the tail off the file: the last record's frame now overruns.
+  std::string bytes;
+  {
+    std::ifstream is(files[0], std::ios::binary);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    bytes = ss.str();
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  const fs::path cut = dir_ / "cut.mumw";
+  std::ofstream(cut, std::ios::binary)
+      << bytes.substr(0, bytes.size() - 40);
+
+  // Strict (default) refuses; tolerant salvages and reports what it skipped.
+  EXPECT_EQ(run_cmd({"stats", cut.string()}, &out), kExitFatal);
+  EXPECT_EQ(run_cmd({"stats", "--tolerant", cut.string()}, &out), kExitOk);
+  EXPECT_NE(out.find("salvaged"), std::string::npos);
+}
+
+TEST_F(CliPipeline, CampaignExitCodesAndManifest) {
+  std::string out;
+  // A clean small campaign: every cycle computes, exit 0.
+  EXPECT_EQ(run_cmd({"campaign", "--small", "--cycles", "2", "--quiet"},
+                    &out),
+            kExitOk)
+      << out;
+
+  // Injected failure on every cycle: contained, but the run is partial.
+  std::string json;
+  EXPECT_EQ(run_cmd({"campaign", "--small", "--cycles", "2", "--keep-going",
+                     "--chaos", "fail=1", "--json", "--quiet"},
+                    &json),
+            kExitPartial);
+  EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+  EXPECT_NE(json.find("\"failed\":2"), std::string::npos);
+  EXPECT_NE(json.find("injected failure"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mum::cli

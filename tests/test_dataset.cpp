@@ -199,6 +199,178 @@ TEST(WartsLite, EmptySnapshotRoundTrip) {
   EXPECT_TRUE(back->traces.empty());
 }
 
+TEST(WartsLite, AnonymousOnlyTraceRoundTrip) {
+  Snapshot snap;
+  snap.cycle_id = 9;
+  snap.date = "2013-01";
+  Trace t;
+  t.monitor_id = 3;
+  t.src = ip(1);
+  t.dst = ip(2);
+  t.reached = false;
+  t.hops.assign(5, TraceHop{});  // every hop anonymous
+  snap.traces.push_back(t);
+
+  const auto back = parse_snapshot(serialize_snapshot(snap));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->traces.size(), 1u);
+  ASSERT_EQ(back->traces[0].hops.size(), 5u);
+  for (const auto& hop : back->traces[0].hops) {
+    EXPECT_TRUE(hop.anonymous());
+    EXPECT_FALSE(hop.has_labels());
+  }
+}
+
+TEST(WartsLite, MaxDepthLabelStackRoundTrip) {
+  // Quoted stacks deeper than anything the generator emits must still
+  // round-trip exactly (the paper's data shows stacks up to ~6; go further).
+  Snapshot snap;
+  snap.date = "2015-06";
+  Trace t;
+  t.src = ip(1);
+  t.dst = ip(2);
+  TraceHop hop = plain_hop(0x0A000001);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    hop.labels.push(net::kLabelFirstUnreserved + i,
+                    static_cast<std::uint8_t>(i % 8),
+                    static_cast<std::uint8_t>(255 - i));
+  }
+  t.hops.push_back(hop);
+  snap.traces.push_back(t);
+
+  const auto back = parse_snapshot(serialize_snapshot(snap));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->traces[0].hops.size(), 1u);
+  const auto& quoted = back->traces[0].hops[0].labels;
+  ASSERT_EQ(quoted.depth(), 16u);
+  EXPECT_EQ(quoted, hop.labels);
+  EXPECT_TRUE(quoted.entries().back().bottom_of_stack());
+}
+
+// --- strict/tolerant decode edge cases ----------------------------------
+
+TEST(WartsLite, StrictReportsFaultClassAndOffset) {
+  const std::string bytes = serialize_snapshot(sample_snapshot());
+  const DecodeOptions strict;
+
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';
+    DecodeDiagnostics diag;
+    EXPECT_FALSE(parse_snapshot(bad, strict, &diag).has_value());
+    ASSERT_EQ(diag.samples.size(), 1u);
+    EXPECT_EQ(diag.samples[0].fault, FaultClass::kBadMagic);
+    EXPECT_EQ(diag.samples[0].offset, 0u);
+  }
+  {
+    std::string bad = bytes;
+    bad[4] = 99;
+    DecodeDiagnostics diag;
+    EXPECT_FALSE(parse_snapshot(bad, strict, &diag).has_value());
+    ASSERT_EQ(diag.samples.size(), 1u);
+    EXPECT_EQ(diag.samples[0].fault, FaultClass::kBadVersion);
+    EXPECT_EQ(diag.samples[0].offset, 4u);
+  }
+  {
+    // Cut mid-header: the offset points into the surviving bytes.
+    DecodeDiagnostics diag;
+    EXPECT_FALSE(parse_snapshot(bytes.substr(0, 6), strict, &diag).has_value());
+    ASSERT_GE(diag.samples.size(), 1u);
+    EXPECT_EQ(diag.samples[0].fault, FaultClass::kTruncatedHeader);
+    EXPECT_GE(diag.samples[0].offset, 5u);
+    EXPECT_LE(diag.samples[0].offset, 6u);
+  }
+}
+
+TEST(WartsLite, OversizedClaimRejectedBeforeAllocation) {
+  // A header claiming ~1e18 traces backed by zero bytes must fail the
+  // resource check, not attempt the allocation.
+  std::string bytes = "MUMW";
+  bytes.push_back(static_cast<char>(kWartsLiteVersion));
+  put_varint(bytes, 1);  // cycle_id
+  put_varint(bytes, 0);  // sub_index
+  put_varint(bytes, 0);  // empty date
+  put_varint(bytes, 0x0DE0B6B3A7640000ull);  // n_traces = 1e18
+
+  DecodeDiagnostics strict_diag;
+  EXPECT_FALSE(
+      parse_snapshot(bytes, DecodeOptions{}, &strict_diag).has_value());
+  EXPECT_GE(strict_diag.count(FaultClass::kOversizedClaim), 1u);
+
+  DecodeOptions tolerant;
+  tolerant.tolerant = true;
+  DecodeDiagnostics diag;
+  const auto salvaged = parse_snapshot(bytes, tolerant, &diag);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_TRUE(salvaged->traces.empty());
+  EXPECT_GE(diag.count(FaultClass::kOversizedClaim), 1u);
+}
+
+TEST(WartsLite, TolerantNeverFailsOnTruncatedCorpus) {
+  const std::string bytes = serialize_snapshot(sample_snapshot());
+  DecodeOptions tolerant;
+  tolerant.tolerant = true;
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    DecodeDiagnostics diag;
+    const auto result =
+        parse_snapshot(bytes.substr(0, cut), tolerant, &diag);
+    if (cut < 5) {
+      // Not even a container: magic/version can't be verified.
+      EXPECT_FALSE(result.has_value()) << "cut=" << cut;
+    } else {
+      ASSERT_TRUE(result.has_value()) << "cut=" << cut;
+      EXPECT_EQ(result->trace_count(), diag.records_decoded) << "cut=" << cut;
+      if (cut < bytes.size()) {
+        EXPECT_FALSE(diag.clean()) << "cut=" << cut;
+      }
+    }
+  }
+}
+
+TEST(WartsLite, TolerantNeverFailsOnBitFlippedCorpus) {
+  const std::string bytes = serialize_snapshot(sample_snapshot());
+  DecodeOptions tolerant;
+  tolerant.tolerant = true;
+  const DecodeOptions strict;
+  for (std::size_t at = 5; at < bytes.size(); ++at) {
+    for (unsigned bit = 0; bit < 8; bit += 3) {
+      std::string flipped = bytes;
+      flipped[at] = static_cast<char>(
+          static_cast<unsigned char>(flipped[at]) ^ (1u << bit));
+
+      DecodeDiagnostics diag;
+      const auto salvaged = parse_snapshot(flipped, tolerant, &diag);
+      ASSERT_TRUE(salvaged.has_value()) << "at=" << at << " bit=" << bit;
+      EXPECT_EQ(salvaged->trace_count(), diag.records_decoded);
+
+      // Strict mode on the same bytes: either the flip landed in a value
+      // field (decodes fine) or the decode stops with a located fault.
+      DecodeDiagnostics strict_diag;
+      if (!parse_snapshot(flipped, strict, &strict_diag).has_value()) {
+        ASSERT_GE(strict_diag.samples.size(), 1u);
+        EXPECT_LE(strict_diag.samples[0].offset, flipped.size());
+      }
+    }
+  }
+}
+
+TEST(WartsLite, V1UnframedFaultAbandonsRemainder) {
+  const Snapshot snap = sample_snapshot();
+  const std::string v1 = serialize_snapshot(snap, 1);
+  ASSERT_TRUE(parse_snapshot(v1).has_value());
+
+  // Chop the tail: without per-record framing, tolerant mode cannot resync,
+  // so everything from the fault on is lost — but it still must not fail.
+  DecodeOptions tolerant;
+  tolerant.tolerant = true;
+  DecodeDiagnostics diag;
+  const auto salvaged =
+      parse_snapshot(v1.substr(0, v1.size() - 3), tolerant, &diag);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_LT(salvaged->trace_count(), snap.trace_count());
+  EXPECT_FALSE(diag.clean());
+}
+
 TEST(WartsLite, TextRenderingContainsKeyFields) {
   const Snapshot snap = sample_snapshot();
   const std::string text = to_text(snap);

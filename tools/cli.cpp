@@ -5,12 +5,14 @@
 #include <ostream>
 #include <sstream>
 
+#include "chaos/chaos.h"
 #include "core/alias.h"
 #include "core/report.h"
 #include "core/tree.h"
 #include "dataset/warts_lite.h"
 #include "gen/campaign.h"
 #include "gen/internet.h"
+#include "run/runner.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -92,16 +94,30 @@ std::optional<std::string> Args::unknown_flag() const {
 
 namespace {
 
-std::optional<dataset::Snapshot> load_snapshot(const std::string& path,
-                                               std::ostream& err) {
+std::optional<dataset::Snapshot> load_snapshot(
+    const std::string& path, bool tolerant,
+    dataset::DecodeDiagnostics& decode, std::ostream& err) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     err << "cannot open " << path << '\n';
     return std::nullopt;
   }
-  auto snap = dataset::read_snapshot(is);
+  dataset::DecodeDiagnostics diag;
+  auto snap = dataset::read_snapshot(
+      is, dataset::DecodeOptions{.tolerant = tolerant}, &diag);
+  decode.merge(diag);
   if (!snap) {
-    err << path << ": not a warts-lite snapshot\n";
+    err << path << ": not a warts-lite snapshot";
+    if (!diag.samples.empty()) {
+      const dataset::DecodeFault& first = diag.samples.front();
+      err << " (" << dataset::to_cstring(first.fault) << " at offset "
+          << first.offset << ": " << first.detail << ")";
+    }
+    err << '\n';
+  } else if (!diag.clean()) {
+    err << path << ": salvaged " << diag.records_decoded
+        << " records, skipped " << diag.records_skipped << " ("
+        << diag.faults_total() << " faults)\n";
   }
   return snap;
 }
@@ -125,38 +141,53 @@ std::optional<dataset::Ip2As> load_ip2as(const std::string& path,
 struct LoadedData {
   dataset::Ip2As ip2as;
   std::vector<dataset::Snapshot> snapshots;
+  // What the decoder skipped across all files (clean in strict mode).
+  dataset::DecodeDiagnostics decode;
 };
 
-std::optional<LoadedData> load_inputs(Args& args, std::ostream& err,
-                                      bool need_ip2as) {
+struct LoadResult {
+  std::optional<LoadedData> data;
+  int fail_code = kExitFatal;  // meaningful only when !data
+};
+
+// Consumes --tolerant/--strict along with the input flags. Strict (the
+// default) aborts on the first malformed record; tolerant skips and counts.
+LoadResult load_inputs(Args& args, std::ostream& err, bool need_ip2as) {
+  const bool tolerant = args.take_flag("--tolerant");
+  const bool strict = args.take_flag("--strict");
+  if (tolerant && strict) {
+    err << "--tolerant and --strict are mutually exclusive\n";
+    return {std::nullopt, kExitUsage};
+  }
+
   LoadedData data;
   if (need_ip2as) {
     const auto ip2as_path = args.take_value("--ip2as");
     if (!ip2as_path) {
       err << "--ip2as FILE is required\n";
-      return std::nullopt;
+      return {std::nullopt, kExitUsage};
     }
     auto table = load_ip2as(*ip2as_path, err);
-    if (!table) return std::nullopt;
+    if (!table) return {std::nullopt, kExitFatal};
     data.ip2as = std::move(*table);
   }
   const auto files = args.positionals();
   if (files.empty()) {
     err << "no snapshot files given\n";
-    return std::nullopt;
+    return {std::nullopt, kExitUsage};
   }
   for (const auto& file : files) {
-    auto snap = load_snapshot(file, err);
-    if (!snap) return std::nullopt;
+    auto snap = load_snapshot(file, tolerant, data.decode, err);
+    if (!snap) return {std::nullopt, kExitFatal};
     data.ip2as.annotate(snap->traces);
     data.snapshots.push_back(std::move(*snap));
   }
-  return data;
+  return {std::move(data), kExitOk};
 }
 
-// Unknown flags are an error for every subcommand (they used to be warned
-// about and silently ignored). Each subcommand calls this once all its known
-// flags have been consumed.
+// Unknown flags are a usage error for every subcommand (they used to be
+// warned about and silently ignored). Each subcommand calls this once all
+// its known flags have been consumed.
 bool reject_unknown(const Args& args, std::ostream& err) {
   if (const auto unknown = args.unknown_flag()) {
     err << "error: unknown flag " << *unknown << '\n';
@@ -189,16 +220,16 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err) {
   util::ThreadPool pool = make_pool(args);
   if (!args.ok()) {
     err << args.error() << '\n';
-    return 2;
+    return kExitUsage;
   }
-  if (reject_unknown(args, err)) return 2;
+  if (reject_unknown(args, err)) return kExitUsage;
   if (!out_dir) {
     err << "--out DIR is required\n";
-    return 2;
+    return kExitUsage;
   }
   if (cycle < 1 || cycle > gen::kCycles) {
     err << "--cycle must be in [1, " << gen::kCycles << "]\n";
-    return 2;
+    return kExitUsage;
   }
 
   gen::GenConfig config;
@@ -226,7 +257,7 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err) {
     std::ofstream os(file, std::ios::binary);
     if (!os) {
       err << "cannot write " << file << '\n';
-      return 1;
+      return kExitFatal;
     }
     dataset::write_snapshot(os, snap);
     out << "wrote " << file.string() << " (" << snap.trace_count()
@@ -237,7 +268,7 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err) {
   ts << dataset::to_table_text(ip2as);
   out << "wrote " << table_file.string() << " (" << ip2as.prefix_count()
       << " prefixes)\n";
-  return 0;
+  return kExitOk;
 }
 
 // ----------------------------------------------------------------------
@@ -252,36 +283,38 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
   const bool json = args.take_flag("--json");
   const bool json_iotps = args.take_flag("--json-iotps");
   util::ThreadPool pool = make_pool(args);
-  auto data = load_inputs(args, err, /*need_ip2as=*/true);
+  auto loaded = load_inputs(args, err, /*need_ip2as=*/true);
   if (!args.ok()) {
     err << args.error() << '\n';
-    return 2;
+    return kExitUsage;
   }
-  if (reject_unknown(args, err)) return 2;
-  if (!data) return 2;
+  if (reject_unknown(args, err)) return kExitUsage;
+  if (!loaded.data) return loaded.fail_code;
+  LoadedData& data = *loaded.data;
 
   dataset::MonthData month;
-  month.cycle_id = data->snapshots.front().cycle_id;
-  month.date = data->snapshots.front().date;
-  month.snapshots = std::move(data->snapshots);
+  month.cycle_id = data.snapshots.front().cycle_id;
+  month.date = data.snapshots.front().date;
+  month.snapshots = std::move(data.snapshots);
 
   lpr::PipelineConfig pipeline;
   pipeline.filter.persistence_j = static_cast<int>(j);
   pipeline.filter.enable_persistence = j > 0 && month.snapshots.size() > 1;
   pipeline.classify.alias_resolution_heuristic = alias;
   lpr::CycleReport report =
-      lpr::run_pipeline(month, data->ip2as, pipeline, &pool);
+      lpr::run_pipeline(month, data.ip2as, pipeline, &pool);
+  report.decode = std::move(data.decode);
 
   if (router_level) {
     // Re-group at router granularity (Sec.-5 extension): passive alias
     // inference over the cycle data, endpoints canonicalized, classes
     // recomputed.
     const auto extracted =
-        lpr::extract_lsps(month.cycle(), data->ip2as);
+        lpr::extract_lsps(month.cycle(), data.ip2as);
     std::vector<lpr::ExtractedSnapshot> following;
     for (std::size_t i = 1; i < month.snapshots.size(); ++i) {
       following.push_back(
-          lpr::extract_lsps(month.snapshots[i], data->ip2as));
+          lpr::extract_lsps(month.snapshots[i], data.ip2as));
     }
     const auto filtered =
         lpr::apply_filters(extracted, following, pipeline.filter);
@@ -301,7 +334,7 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
 
   if (json || json_iotps) {
     out << report.to_json(json_iotps) << '\n';
-    return 0;
+    return kExitOk;
   }
 
   if (csv) {
@@ -309,7 +342,7 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
   } else {
     report.to_table(out);
   }
-  return 0;
+  return kExitOk;
 }
 
 // ----------------------------------------------------------------------
@@ -317,18 +350,19 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
 // ----------------------------------------------------------------------
 
 int run_trees(Args& args, std::ostream& out, std::ostream& err) {
-  auto data = load_inputs(args, err, /*need_ip2as=*/true);
-  if (reject_unknown(args, err)) return 2;
-  if (!data) return 2;
+  auto loaded = load_inputs(args, err, /*need_ip2as=*/true);
+  if (reject_unknown(args, err)) return kExitUsage;
+  if (!loaded.data) return loaded.fail_code;
+  LoadedData& data = *loaded.data;
 
   // Same filtering as classify, without Persistence when only one file.
   dataset::MonthData month;
-  month.snapshots = std::move(data->snapshots);
+  month.snapshots = std::move(data.snapshots);
   const auto extracted =
-      lpr::extract_lsps(month.snapshots.front(), data->ip2as);
+      lpr::extract_lsps(month.snapshots.front(), data.ip2as);
   std::vector<lpr::ExtractedSnapshot> following;
   for (std::size_t i = 1; i < month.snapshots.size(); ++i) {
-    following.push_back(lpr::extract_lsps(month.snapshots[i], data->ip2as));
+    following.push_back(lpr::extract_lsps(month.snapshots[i], data.ip2as));
   }
   lpr::FilterConfig filter;
   filter.enable_persistence = !following.empty();
@@ -349,7 +383,7 @@ int run_trees(Args& args, std::ostream& out, std::ostream& err) {
                                   static_cast<std::int64_t>(
                                       stats.multi_fec))});
   out << table;
-  return 0;
+  return kExitOk;
 }
 
 // ----------------------------------------------------------------------
@@ -357,9 +391,10 @@ int run_trees(Args& args, std::ostream& out, std::ostream& err) {
 // ----------------------------------------------------------------------
 
 int run_stats(Args& args, std::ostream& out, std::ostream& err) {
-  auto data = load_inputs(args, err, /*need_ip2as=*/false);
-  if (reject_unknown(args, err)) return 2;
-  if (!data) return 2;
+  auto loaded = load_inputs(args, err, /*need_ip2as=*/false);
+  if (reject_unknown(args, err)) return kExitUsage;
+  if (!loaded.data) return loaded.fail_code;
+  LoadedData& data = *loaded.data;
 
   util::TextTable table({"snapshot", "traces", "w/ tunnel", "share",
                          "LSPs", "incomplete"});
@@ -381,16 +416,111 @@ int run_stats(Args& args, std::ostream& out, std::ostream& err) {
              s.lsps_incomplete))});
   };
   lpr::ExtractStats total;
-  for (const auto& snap : data->snapshots) {
+  for (const auto& snap : data.snapshots) {
     dataset::Ip2As empty;
     const auto extracted = lpr::extract_lsps(snap, empty);
     add_row(snap.date + "#" + std::to_string(snap.sub_index),
             extracted.stats);
     total.merge(extracted.stats);
   }
-  if (data->snapshots.size() > 1) add_row("total", total);
+  if (data.snapshots.size() > 1) add_row("total", total);
   out << table;
-  return 0;
+  return kExitOk;
+}
+
+// ----------------------------------------------------------------------
+// campaign
+// ----------------------------------------------------------------------
+
+int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
+  const long cycles = args.take_int("--cycles", 12);
+  const long seed = args.take_int("--seed", 20151028);
+  const long threads = args.take_int("--threads", 0);
+  const long failure_budget = args.take_int("--failure-budget", -1);
+  const bool small = args.take_flag("--small");
+  const bool keep_going = args.take_flag("--keep-going");
+  const bool json = args.take_flag("--json");
+  const bool quiet = args.take_flag("--quiet");
+  const auto chaos_spec = args.take_value("--chaos");
+  const auto checkpoint_dir = args.take_value("--checkpoints");
+  const auto resume_dir = args.take_value("--resume");
+  if (!args.ok()) {
+    err << args.error() << '\n';
+    return kExitUsage;
+  }
+  if (reject_unknown(args, err)) return kExitUsage;
+  if (cycles < 1 || cycles > gen::kCycles) {
+    err << "--cycles must be in [1, " << gen::kCycles << "]\n";
+    return kExitUsage;
+  }
+  if (checkpoint_dir && resume_dir && *checkpoint_dir != *resume_dir) {
+    err << "--checkpoints and --resume name different directories\n";
+    return kExitUsage;
+  }
+
+  run::RunnerConfig config;
+  config.gen.seed = static_cast<std::uint64_t>(seed);
+  if (small) {
+    config.gen.background_transit = 8;
+    config.gen.stub_ases = 12;
+    config.gen.monitors = 6;
+    config.gen.dests_per_monitor = 150;
+  }
+  config.first_cycle = 0;
+  config.last_cycle = static_cast<int>(cycles) - 1;
+  config.threads = static_cast<int>(threads);
+  config.keep_going = keep_going;
+  config.failure_budget = static_cast<int>(failure_budget);
+  if (resume_dir) {
+    config.checkpoint_dir = *resume_dir;
+    config.resume = true;
+  } else if (checkpoint_dir) {
+    config.checkpoint_dir = *checkpoint_dir;
+  }
+  if (chaos_spec) {
+    std::string error;
+    const auto chaos = chaos::parse_chaos_spec(*chaos_spec, &error);
+    if (!chaos) {
+      err << error << '\n';
+      return kExitUsage;
+    }
+    config.chaos = *chaos;
+  }
+
+  run::RunOutcome outcome;
+  try {
+    const run::Runner runner(config);
+    outcome = runner.run_all_contained(quiet ? nullptr : &err);
+  } catch (const std::exception& e) {
+    err << "fatal: " << e.what() << '\n';
+    return kExitFatal;
+  }
+
+  if (json) {
+    out << "{\"report\":" << outcome.report.to_json()
+        << ",\"manifest\":" << outcome.manifest.to_json() << "}\n";
+  } else {
+    outcome.report.to_table(out);
+  }
+  if (!config.checkpoint_dir.empty()) {
+    const fs::path manifest_file =
+        fs::path(config.checkpoint_dir) / "manifest.json";
+    std::ofstream ms(manifest_file);
+    ms << outcome.manifest.to_json() << '\n';
+  }
+
+  const run::RunManifest& manifest = outcome.manifest;
+  if (!quiet) {
+    err << "cycles: " << manifest.count(run::CycleOutcome::kOk) << " ok, "
+        << manifest.count(run::CycleOutcome::kFromCheckpoint)
+        << " from checkpoint, " << manifest.count(run::CycleOutcome::kFailed)
+        << " failed, " << manifest.count(run::CycleOutcome::kSkipped)
+        << " skipped";
+    const std::uint64_t injected = manifest.chaos_total().total();
+    if (injected > 0) err << "; " << injected << " chaos faults injected";
+    err << '\n';
+  }
+  return manifest.complete() ? kExitOk : kExitPartial;
 }
 
 // ----------------------------------------------------------------------
@@ -409,20 +539,33 @@ std::string usage() {
       "                           synthesize an Archipelago-style month\n"
       "  classify  --ip2as FILE SNAP [SNAP...] [--j N] [--alias]\n"
       "            [--router-level] [--csv] [--json | --json-iotps]\n"
-      "            [--threads N]  run LPR (filters + Algorithm 1)\n"
-      "  trees     --ip2as FILE SNAP [SNAP...]\n"
+      "            [--tolerant | --strict] [--threads N]\n"
+      "                           run LPR (filters + Algorithm 1)\n"
+      "  trees     --ip2as FILE SNAP [SNAP...] [--tolerant | --strict]\n"
       "                           egress-rooted LSP-tree analysis (Sec. 5)\n"
-      "  stats     SNAP [SNAP...] dataset-level statistics\n"
+      "  stats     SNAP [SNAP...] [--tolerant | --strict]\n"
+      "                           dataset-level statistics\n"
+      "  campaign  [--cycles N] [--seed S] [--small] [--threads N]\n"
+      "            [--chaos SPEC] [--keep-going] [--failure-budget N]\n"
+      "            [--checkpoints DIR] [--resume DIR] [--json] [--quiet]\n"
+      "                           end-to-end campaign with containment\n"
       "\n"
+      "--strict (the default) aborts on the first malformed record;\n"
+      "--tolerant skips malformed records and reports what was dropped.\n"
+      "--chaos takes fault=rate pairs, e.g. 'all=2%' or\n"
+      "'flip=0.01,blackout=5%,fail=0.1,seed=7'.\n"
       "--threads 0 (the default) uses one thread per hardware thread; any\n"
-      "value produces identical output (deterministic parallelism).\n";
+      "value produces identical output (deterministic parallelism).\n"
+      "\n"
+      "exit codes: 0 success, 1 usage error, 2 partial run (contained\n"
+      "failures), 3 fatal (I/O or undecodable input).\n";
 }
 
 int run(int argc, const char* const* argv, std::ostream& out,
         std::ostream& err) {
   if (argc < 2) {
     err << usage();
-    return 2;
+    return kExitUsage;
   }
   const std::string command = argv[1];
   Args args(argc - 2, argv + 2);
@@ -436,12 +579,14 @@ int run(int argc, const char* const* argv, std::ostream& out,
     code = run_trees(args, out, err);
   } else if (command == "stats") {
     code = run_stats(args, out, err);
+  } else if (command == "campaign") {
+    code = run_campaign(args, out, err);
   } else if (command == "--help" || command == "help") {
     out << usage();
-    return 0;
+    return kExitOk;
   } else {
     err << "unknown command '" << command << "'\n" << usage();
-    return 2;
+    return kExitUsage;
   }
   return code;
 }

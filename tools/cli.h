@@ -7,6 +7,7 @@
 //   mum classify  --ip2as FILE SNAP [SNAP...]   [--j N] [--alias] [--csv]
 //   mum trees     --ip2as FILE SNAP [SNAP...]
 //   mum stats     SNAP [SNAP...]
+//   mum campaign  [--cycles N] [--chaos SPEC] [--keep-going] [--resume DIR]
 #pragma once
 
 #include <iosfwd>
@@ -15,6 +16,16 @@
 #include <vector>
 
 namespace mum::cli {
+
+// Process exit codes, uniform across subcommands:
+//   0 — success (for `campaign`: every cycle computed or restored)
+//   1 — usage error (unknown command/flag, malformed or missing argument)
+//   2 — partial run: failures were contained, results are incomplete
+//   3 — fatal: I/O failure or unreadable/undecodable input data
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 1;
+inline constexpr int kExitPartial = 2;
+inline constexpr int kExitFatal = 3;
 
 // Minimal flag parser: "--name value", "--flag", positionals.
 class Args {
@@ -48,6 +59,7 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err);
 int run_classify(Args& args, std::ostream& out, std::ostream& err);
 int run_trees(Args& args, std::ostream& out, std::ostream& err);
 int run_stats(Args& args, std::ostream& out, std::ostream& err);
+int run_campaign(Args& args, std::ostream& out, std::ostream& err);
 
 // Top-level dispatch (what main() calls).
 int run(int argc, const char* const* argv, std::ostream& out,

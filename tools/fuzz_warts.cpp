@@ -1,0 +1,201 @@
+// Fuzz entry point for the warts-lite decoder.
+//
+// Exposes the libFuzzer hook (LLVMFuzzerTestOneInput) so a clang
+// `-fsanitize=fuzzer` build can drive it (-DMUM_LIBFUZZER=ON). The default
+// build gets a standalone deterministic driver instead: it replays a corpus
+// of random buffers and mutated-but-plausible snapshots (bit flips,
+// truncations, splices of valid serializations), which is what
+// scripts/tier1.sh runs under ASan+UBSan.
+//
+// The oracle, both ways:
+//   * tolerant decode never crashes, never trips a sanitizer, and its
+//     diagnostics agree with what it returned (records_decoded == traces);
+//   * strict decode of the same bytes never crashes, and when it rejects it
+//     reports at least one fault;
+//   * whatever tolerant decode salvages re-serializes and re-parses cleanly
+//     (the salvaged subset is a valid snapshot in its own right).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dataset/warts_lite.h"
+#include "util/rng.h"
+
+namespace {
+
+using mum::dataset::DecodeDiagnostics;
+using mum::dataset::DecodeOptions;
+using mum::dataset::Snapshot;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_warts: invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+void run_one(const std::string& bytes) {
+  DecodeDiagnostics tolerant_diag;
+  const auto tolerant = mum::dataset::parse_snapshot(
+      bytes, DecodeOptions{.tolerant = true}, &tolerant_diag);
+  if (tolerant) {
+    check(tolerant_diag.records_decoded == tolerant->traces.size(),
+          "records_decoded mismatches returned traces");
+    // The salvaged subset must itself round-trip cleanly.
+    DecodeDiagnostics clean;
+    const auto again = mum::dataset::parse_snapshot(
+        mum::dataset::serialize_snapshot(*tolerant),
+        DecodeOptions{.tolerant = true}, &clean);
+    check(again.has_value(), "salvaged snapshot does not re-parse");
+    check(clean.clean(), "salvaged snapshot re-parses with faults");
+    check(again->traces.size() == tolerant->traces.size(),
+          "salvaged snapshot loses traces on round trip");
+  } else {
+    check(tolerant_diag.faults_total() > 0,
+          "tolerant rejection without a recorded fault");
+  }
+
+  DecodeDiagnostics strict_diag;
+  const auto strict = mum::dataset::parse_snapshot(
+      bytes, DecodeOptions{.tolerant = false}, &strict_diag);
+  if (strict) {
+    check(strict_diag.clean(), "strict acceptance with faults recorded");
+    check(tolerant.has_value(), "strict accepted what tolerant rejected");
+  } else {
+    check(strict_diag.faults_total() > 0,
+          "strict rejection without a recorded fault");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  run_one(std::string(reinterpret_cast<const char*>(data), size));
+  return 0;
+}
+
+#ifndef MUM_LIBFUZZER
+
+namespace {
+
+// A small but structurally rich snapshot to mutate.
+Snapshot seed_snapshot(mum::util::Rng& rng) {
+  Snapshot snap;
+  snap.cycle_id = static_cast<std::uint32_t>(rng.below(60));
+  snap.sub_index = static_cast<std::uint32_t>(rng.below(4));
+  snap.date = "2014-06";
+  const int traces = 1 + static_cast<int>(rng.below(6));
+  for (int i = 0; i < traces; ++i) {
+    mum::dataset::Trace t;
+    t.monitor_id = static_cast<std::uint32_t>(rng.below(32));
+    t.src = mum::net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    t.dst = mum::net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+    t.reached = rng.chance(0.8);
+    const int hops = static_cast<int>(rng.below(12));
+    for (int h = 0; h < hops; ++h) {
+      mum::dataset::TraceHop hop;
+      if (!rng.chance(0.1)) {
+        hop.addr = mum::net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+        hop.rtt_ms = rng.uniform01() * 200.0;
+        const int stack = static_cast<int>(rng.below(4));
+        for (int s = 0; s < stack; ++s) {
+          hop.labels.push(static_cast<std::uint32_t>(rng.below(1 << 20)),
+                          static_cast<std::uint8_t>(rng.below(8)), 64);
+        }
+      }
+      t.hops.push_back(std::move(hop));
+    }
+    snap.traces.push_back(std::move(t));
+  }
+  return snap;
+}
+
+std::string mutate(std::string bytes, mum::util::Rng& rng) {
+  switch (rng.below(5)) {
+    case 0: {  // bit flips
+      const int flips = 1 + static_cast<int>(rng.below(8));
+      for (int f = 0; f < flips && !bytes.empty(); ++f) {
+        const std::size_t at =
+            static_cast<std::size_t>(rng.below(bytes.size()));
+        bytes[at] = static_cast<char>(static_cast<unsigned char>(bytes[at]) ^
+                                      (1u << rng.below(8)));
+      }
+      return bytes;
+    }
+    case 1:  // truncation
+      return bytes.substr(
+          0, static_cast<std::size_t>(rng.below(bytes.size() + 1)));
+    case 2: {  // splice two prefixes
+      const std::size_t cut =
+          static_cast<std::size_t>(rng.below(bytes.size() + 1));
+      return bytes.substr(0, cut) + bytes;
+    }
+    case 3: {  // stomp a run with a random byte (varint/count corruption)
+      if (bytes.size() > 8) {
+        const std::size_t at =
+            static_cast<std::size_t>(rng.below(bytes.size() - 4));
+        for (std::size_t k = 0; k < 4; ++k) {
+          bytes[at + k] = static_cast<char>(rng.below(256));
+        }
+      }
+      return bytes;
+    }
+    default:  // append garbage
+      for (int k = 0; k < 16; ++k) {
+        bytes.push_back(static_cast<char>(rng.below(256)));
+      }
+      return bytes;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iters = 10000;
+  std::uint64_t seed = 20151028;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: fuzz_warts [--iters N] [--seed S]\n");
+      return 1;
+    }
+  }
+
+  mum::util::Rng rng(seed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    std::string bytes;
+    if (rng.chance(0.25)) {
+      // Pure noise, random length (exercises the container checks).
+      const std::size_t len = static_cast<std::size_t>(rng.below(512));
+      bytes.reserve(len);
+      for (std::size_t k = 0; k < len; ++k) {
+        bytes.push_back(static_cast<char>(rng.below(256)));
+      }
+      if (rng.chance(0.5)) {
+        // Give noise a valid header so it reaches the record decoder.
+        const std::string header = "MUMW";
+        bytes = header +
+                std::string(1, static_cast<char>(1 + rng.below(2))) + bytes;
+      }
+    } else {
+      // Mutated valid snapshot, at a random format version.
+      auto snap = seed_snapshot(rng);
+      bytes = mum::dataset::serialize_snapshot(
+          snap, rng.chance(0.3) ? std::uint8_t{1} : std::uint8_t{2});
+      const int rounds = 1 + static_cast<int>(rng.below(3));
+      for (int r = 0; r < rounds; ++r) bytes = mutate(std::move(bytes), rng);
+    }
+    run_one(bytes);
+  }
+  std::printf("fuzz_warts: %llu buffers, 0 crashes\n",
+              static_cast<unsigned long long>(iters));
+  return 0;
+}
+
+#endif  // MUM_LIBFUZZER
