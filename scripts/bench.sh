@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
-# Micro-benchmark runner: builds bench/micro_lpr and writes a JSON report
-# (google-benchmark --benchmark_format=json) to BENCH_PR4.json at the repo
-# root, embedding the pre-PR IGP baselines so the speedup is auditable from
-# the artifact alone.
+# Micro-benchmark runner. Two stages, each writing a JSON report
+# (google-benchmark --benchmark_format=json) at the repo root:
 #
-# The baselines were measured at commit 72d59fb (before the flat-RIB /
+#   1. bench/micro_lpr   -> BENCH_PR4.json  (LPR/IGP hot paths, with the
+#      pre-PR IGP baselines embedded so the speedup is auditable from the
+#      artifact alone)
+#   2. bench/micro_ingest -> BENCH_PR6.json (warts-lite v2 stream decode vs
+#      v3 pack mmap ingest over a 60-cycle corpus, bytes/s and traces/s;
+#      gated: v3 mmap must ingest at >= 5x the v2 traces/s)
+#
+# The PR4 baselines were measured at commit 72d59fb (before the flat-RIB /
 # one-pass SPF rewrite) on the AT&T case-study shape (74 routers, 217 links,
 # Rng(4)) with the same timer loop BM_IgpCompute/BM_IgpReconverge use:
 #   compute    (all-pairs ECMP SPF): 2002143 ns/iter
 #   reconverge (2 links down, was a full recompute): 1971482 ns/iter
 #
 # Usage: scripts/bench.sh [build-dir] [benchmark-filter]
+# The filter applies to both binaries; the 5x ingest gate only runs when the
+# two gated benchmarks are present in the report (i.e. not filtered out).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,7 +25,7 @@ build="${1:-$repo/build}"
 filter="${2:-}"
 
 cmake -B "$build" -S "$repo"
-cmake --build "$build" -j --target micro_lpr
+cmake --build "$build" -j --target micro_lpr --target micro_ingest
 
 args=(
   --benchmark_format=json
@@ -34,3 +41,37 @@ fi
 
 "$build/bench/micro_lpr" "${args[@]}"
 echo "wrote $repo/BENCH_PR4.json"
+
+ingest_args=(
+  --benchmark_format=json
+  --benchmark_out="$repo/BENCH_PR6.json"
+  --benchmark_out_format=json
+)
+if [[ -n "$filter" ]]; then
+  ingest_args+=(--benchmark_filter="$filter")
+fi
+
+"$build/bench/micro_ingest" "${ingest_args[@]}"
+echo "wrote $repo/BENCH_PR6.json"
+
+python3 - "$repo/BENCH_PR6.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+by_name = {b["name"]: b for b in report["benchmarks"]}
+v2 = by_name.get("BM_IngestV2Stream")
+v3 = by_name.get("BM_IngestV3Mmap")
+if v2 is None or v3 is None:
+    print("ingest gate skipped (benchmarks filtered out)")
+    sys.exit(0)
+ratio = v3["items_per_second"] / v2["items_per_second"]
+print(
+    f"ingest: v2 stream {v2['items_per_second']:,.0f} traces/s "
+    f"({v2['bytes_per_second'] / 1e9:.2f} GB/s), "
+    f"v3 mmap {v3['items_per_second']:,.0f} traces/s "
+    f"({v3['bytes_per_second'] / 1e9:.2f} GB/s) -> {ratio:.1f}x"
+)
+if ratio < 5.0:
+    sys.exit(f"ingest gate FAILED: v3/v2 = {ratio:.2f}x, need >= 5x")
+PY

@@ -15,6 +15,9 @@ const char* to_cstring(FaultClass fault) noexcept {
     case FaultClass::kOversizedClaim: return "oversized_claim";
     case FaultClass::kRecordOverrun: return "record_overrun";
     case FaultClass::kTrailingBytes: return "trailing_bytes";
+    case FaultClass::kBadSectionTable: return "bad_section_table";
+    case FaultClass::kChecksumMismatch: return "checksum_mismatch";
+    case FaultClass::kBadOffsetIndex: return "bad_offset_index";
   }
   return "unknown";
 }

@@ -40,8 +40,14 @@ enum class FaultClass : std::uint8_t {
   kOversizedClaim,    // a count field claims more than the bytes can hold
   kRecordOverrun,     // a v2 record frame exceeds the remaining buffer
   kTrailingBytes,     // a record (or the file) carries unconsumed bytes
+  // v3 pack (columnar) container faults — see dataset/pack.h. Oversized
+  // section claims (a table entry pointing past the mapping) reuse
+  // kOversizedClaim above; these cover the structurally distinct cases.
+  kBadSectionTable,   // duplicate/misaligned/overlapping section entry
+  kChecksumMismatch,  // stored section checksum does not match the bytes
+  kBadOffsetIndex,    // an offset column is non-monotonic or out of range
 };
-inline constexpr std::size_t kFaultClassCount = 9;
+inline constexpr std::size_t kFaultClassCount = 12;
 
 const char* to_cstring(FaultClass fault) noexcept;
 

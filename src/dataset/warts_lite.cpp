@@ -1,15 +1,12 @@
 #include "dataset/warts_lite.h"
 
 #include <cmath>
-#include <istream>
 #include <ostream>
 #include <sstream>
 
 namespace mum::dataset {
 
 namespace {
-
-constexpr char kMagic[4] = {'M', 'U', 'M', 'W'};
 
 // Minimum encoded sizes, used to validate count claims before allocating:
 // a hop is at least addr(4) + rtt(4) + n_lse(1), a trace at least
@@ -28,13 +25,13 @@ void put_u32(std::string& out, std::uint32_t v) {
   }
 }
 
-std::optional<std::uint8_t> get_u8(const std::string& in, std::size_t& pos,
+std::optional<std::uint8_t> get_u8(std::string_view in, std::size_t& pos,
                                    std::size_t limit) {
   if (pos >= limit) return std::nullopt;
   return static_cast<std::uint8_t>(in[pos++]);
 }
 
-std::optional<std::uint32_t> get_u32(const std::string& in, std::size_t& pos,
+std::optional<std::uint32_t> get_u32(std::string_view in, std::size_t& pos,
                                      std::size_t limit) {
   if (pos + 4 > limit) return std::nullopt;
   std::uint32_t v = 0;
@@ -51,11 +48,11 @@ void put_string(std::string& out, const std::string& s) {
   out.append(s);
 }
 
-std::optional<std::string> get_string(const std::string& in, std::size_t& pos,
+std::optional<std::string> get_string(std::string_view in, std::size_t& pos,
                                       std::size_t limit) {
   const auto len = get_varint(in, pos, limit);
   if (!len || *len > limit - pos) return std::nullopt;
-  std::string s = in.substr(pos, *len);
+  std::string s(in.substr(pos, *len));
   pos += *len;
   return s;
 }
@@ -78,7 +75,7 @@ void serialize_trace(std::string& out, const Trace& t) {
 // `diag` (class, offset of the failing field, record index) and returns
 // nullopt — the caller decides whether that aborts (strict) or skips
 // (tolerant).
-std::optional<Trace> decode_trace(const std::string& in, std::size_t& pos,
+std::optional<Trace> decode_trace(std::string_view in, std::size_t& pos,
                                   std::size_t limit, std::uint64_t record,
                                   DecodeDiagnostics& diag) {
   Trace t;
@@ -151,13 +148,13 @@ void put_varint(std::string& out, std::uint64_t value) {
   out.push_back(static_cast<char>(value));
 }
 
-std::optional<std::uint64_t> get_varint(const std::string& in,
+std::optional<std::uint64_t> get_varint(std::string_view in,
                                         std::size_t& pos) {
   return get_varint(in, pos, in.size());
 }
 
-std::optional<std::uint64_t> get_varint(const std::string& in,
-                                        std::size_t& pos, std::size_t limit) {
+std::optional<std::uint64_t> get_varint(std::string_view in, std::size_t& pos,
+                                        std::size_t limit) {
   std::uint64_t value = 0;
   int shift = 0;
   while (pos < limit) {
@@ -173,7 +170,7 @@ std::optional<std::uint64_t> get_varint(const std::string& in,
 std::string serialize_snapshot(const Snapshot& snapshot,
                                std::uint8_t version) {
   std::string out;
-  out.append(kMagic, sizeof kMagic);
+  out.append(kWartsLiteMagic, sizeof kWartsLiteMagic);
   put_u8(out, version);
   put_varint(out, snapshot.cycle_id);
   put_varint(out, snapshot.sub_index);
@@ -197,24 +194,25 @@ std::string serialize_snapshot(const Snapshot& snapshot) {
   return serialize_snapshot(snapshot, kWartsLiteVersion);
 }
 
-std::optional<Snapshot> parse_snapshot(const std::string& bytes,
-                                       const DecodeOptions& options,
-                                       DecodeDiagnostics* diagnostics) {
+std::optional<Snapshot> parse_snapshot_v2(std::string_view bytes,
+                                          const DecodeOptions& options,
+                                          DecodeDiagnostics* diagnostics) {
   DecodeDiagnostics scratch;
   DecodeDiagnostics& diag = diagnostics != nullptr ? *diagnostics : scratch;
   const std::size_t size = bytes.size();
 
   std::size_t pos = 0;
-  if (size < sizeof kMagic + 1 ||
-      bytes.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+  if (size < sizeof kWartsLiteMagic + 1 ||
+      bytes.compare(0, sizeof kWartsLiteMagic, kWartsLiteMagic,
+                    sizeof kWartsLiteMagic) != 0) {
     diag.add_fault(FaultClass::kBadMagic, 0, 0,
                    "missing MUMW magic — not a warts-lite container");
     return std::nullopt;
   }
-  pos = sizeof kMagic;
+  pos = sizeof kWartsLiteMagic;
   const std::uint8_t version = static_cast<std::uint8_t>(bytes[pos++]);
   if (version < 1 || version > kWartsLiteVersion) {
-    diag.add_fault(FaultClass::kBadVersion, sizeof kMagic, 0,
+    diag.add_fault(FaultClass::kBadVersion, sizeof kWartsLiteMagic, 0,
                    "unsupported version " + std::to_string(version));
     return std::nullopt;
   }
@@ -331,25 +329,9 @@ std::optional<Snapshot> parse_snapshot(const std::string& bytes,
   return snap;
 }
 
-std::optional<Snapshot> parse_snapshot(const std::string& bytes) {
-  return parse_snapshot(bytes, DecodeOptions{}, nullptr);
-}
-
 void write_snapshot(std::ostream& os, const Snapshot& snapshot) {
   const std::string bytes = serialize_snapshot(snapshot);
   os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-}
-
-std::optional<Snapshot> read_snapshot(std::istream& is,
-                                      const DecodeOptions& options,
-                                      DecodeDiagnostics* diagnostics) {
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  return parse_snapshot(buffer.str(), options, diagnostics);
-}
-
-std::optional<Snapshot> read_snapshot(std::istream& is) {
-  return read_snapshot(is, DecodeOptions{}, nullptr);
 }
 
 std::string to_text(const Trace& trace) {

@@ -19,6 +19,11 @@
 // v1 files (no framing) still read, but a mid-stream fault abandons the
 // remaining records. See decode.h for the strict/tolerant contract.
 //
+// This stream form is the interchange/fuzz format. The mmap-oriented v3
+// "pack" lives in dataset/pack.h; the parse/read entry points below sniff
+// the magic and accept either container (see dataset/snapshot_source.h for
+// the unified ingest API they forward to).
+//
 // (AS annotations are not persisted; they are recomputed from the IP2AS
 // table on load, as the paper does with Routeviews snapshots.)
 #pragma once
@@ -27,6 +32,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dataset/decode.h"
@@ -34,8 +40,10 @@
 
 namespace mum::dataset {
 
-// Current write version. Readers accept 1 (unframed) and 2 (framed).
+// Current write version of the stream form. Readers accept 1 (unframed)
+// and 2 (framed).
 inline constexpr std::uint8_t kWartsLiteVersion = 2;
+inline constexpr char kWartsLiteMagic[4] = {'M', 'U', 'M', 'W'};
 
 // --- binary -----------------------------------------------------------
 
@@ -50,19 +58,27 @@ std::string serialize_snapshot(const Snapshot& snapshot,
 // Strict decode: nullopt on the first malformed field (bad magic/version/
 // truncation). Equivalent to the options overload with default options.
 std::optional<Snapshot> read_snapshot(std::istream& is);
-std::optional<Snapshot> parse_snapshot(const std::string& bytes);
+std::optional<Snapshot> parse_snapshot(std::string_view bytes);
 
 // Mode-aware decode. Strict mode returns nullopt on the first fault;
 // tolerant mode skips malformed records (never throws on arbitrary bytes)
 // and returns whatever decoded, nullopt only when the container itself is
 // unrecognizable (bad magic/version). Faults land in `diagnostics` when
 // provided — including the exact byte offset of a strict-mode failure.
-std::optional<Snapshot> parse_snapshot(const std::string& bytes,
+//
+// These sniff the magic: both the v1/v2 stream and the v3 pack decode.
+// (Implemented in snapshot_source.cpp on top of decode_snapshot.)
+std::optional<Snapshot> parse_snapshot(std::string_view bytes,
                                        const DecodeOptions& options,
                                        DecodeDiagnostics* diagnostics);
 std::optional<Snapshot> read_snapshot(std::istream& is,
                                       const DecodeOptions& options,
                                       DecodeDiagnostics* diagnostics);
+
+// The v1/v2 stream decoder itself, no sniffing: bytes must start "MUMW".
+std::optional<Snapshot> parse_snapshot_v2(
+    std::string_view bytes, const DecodeOptions& options = {},
+    DecodeDiagnostics* diagnostics = nullptr);
 
 // --- text -------------------------------------------------------------
 
@@ -75,10 +91,10 @@ std::string to_text(const Snapshot& snapshot);
 
 void put_varint(std::string& out, std::uint64_t value);
 // Reads a varint at `pos`, advancing it; nullopt on truncation/overflow.
-std::optional<std::uint64_t> get_varint(const std::string& in,
+std::optional<std::uint64_t> get_varint(std::string_view in,
                                         std::size_t& pos);
 // Same, bounded: never reads at or beyond `limit`.
-std::optional<std::uint64_t> get_varint(const std::string& in,
+std::optional<std::uint64_t> get_varint(std::string_view in,
                                         std::size_t& pos, std::size_t limit);
 
 }  // namespace mum::dataset

@@ -5,7 +5,8 @@
 #include <fstream>
 #include <sstream>
 
-#include "dataset/warts_lite.h"  // varint helpers
+#include "dataset/pack.h"
+#include "dataset/warts_lite.h"  // varint helpers + stream serializer
 #include "util/rng.h"            // fnv1a
 
 namespace mum::run {
@@ -18,7 +19,10 @@ using dataset::get_varint;
 using dataset::put_varint;
 
 constexpr char kMagic[4] = {'M', 'U', 'M', 'C'};
-constexpr std::uint8_t kVersion = 1;
+// v2: DecodeDiagnostics grew the v3-pack fault classes, changing the counts
+// array length baked into the payload. v1 files no longer load (the cycle
+// recomputes), which beats misattributing fault counters.
+constexpr std::uint8_t kVersion = 2;
 
 // --- primitive writers/readers ------------------------------------------
 
@@ -412,6 +416,57 @@ std::optional<lpr::CycleReport> load_checkpoint_file(const std::string& dir,
   std::ostringstream buffer;
   buffer << is.rdbuf();
   return parse_cycle_report(buffer.str());
+}
+
+std::string data_shard_filename(int cycle, std::size_t sub,
+                                std::uint8_t format) {
+  return "cycle_" + std::to_string(cycle + 1) + "_s" + std::to_string(sub) +
+         (format >= dataset::kPackVersion ? ".mump" : ".mumw");
+}
+
+bool write_data_shard(const std::string& dir, int cycle, std::size_t sub,
+                      const dataset::Snapshot& snapshot,
+                      std::uint8_t format) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string name = data_shard_filename(cycle, sub, format);
+  const fs::path final_path = fs::path(dir) / name;
+  const fs::path tmp_path = fs::path(dir) / (name + ".tmp");
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    const std::string bytes = format >= dataset::kPackVersion
+                                  ? dataset::serialize_pack(snapshot)
+                                  : dataset::serialize_snapshot(snapshot);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!os.flush()) return false;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> find_data_shards(const std::string& dir, int cycle) {
+  std::vector<std::string> paths;
+  for (std::size_t sub = 0;; ++sub) {
+    bool found = false;
+    for (const std::uint8_t format :
+         {dataset::kWartsLiteVersion, dataset::kPackVersion}) {
+      const fs::path path =
+          fs::path(dir) / data_shard_filename(cycle, sub, format);
+      std::error_code ec;
+      if (fs::is_regular_file(path, ec)) {
+        paths.push_back(path.string());
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+  }
+  return paths;
 }
 
 }  // namespace mum::run

@@ -9,12 +9,21 @@
 // (a kill mid-write leaves no half-file under the checkpoint name), and the
 // payload carries an FNV-1a checksum — a corrupt or truncated checkpoint
 // fails to load and the cycle is simply recomputed.
+//
+// Besides report checkpoints, a campaign can persist the raw month data as
+// per-snapshot shards ("cycle_<N+1>_s<K>.mumw|.mump", one warts-lite
+// container each — v2 stream or v3 pack per RunnerConfig::snapshot_format).
+// Resume re-ingests whatever formats it finds, sniffing each shard's magic,
+// so mixed-format checkpoint directories splice cleanly.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/report.h"
+#include "dataset/trace.h"
 
 namespace mum::run {
 
@@ -31,5 +40,21 @@ bool write_checkpoint_file(const std::string& dir, int cycle,
 // nullopt when missing, unreadable, or corrupt — callers recompute.
 std::optional<lpr::CycleReport> load_checkpoint_file(const std::string& dir,
                                                      int cycle);
+
+// --- data shards --------------------------------------------------------
+
+// Filename (not path) of cycle N / snapshot K's data shard:
+// "cycle_<N+1>_s<K>.mumw" for format 2 (stream), ".mump" for format 3 (pack).
+std::string data_shard_filename(int cycle, std::size_t sub,
+                                std::uint8_t format);
+
+// Atomic write (temp + rename) of one snapshot in the given format (2 or 3).
+bool write_data_shard(const std::string& dir, int cycle, std::size_t sub,
+                      const dataset::Snapshot& snapshot, std::uint8_t format);
+
+// Paths of cycle N's existing shards in sub order, either extension per sub
+// (stream preferred when both exist). Stops at the first missing sub index,
+// so a partially written cycle yields only its contiguous prefix.
+std::vector<std::string> find_data_shards(const std::string& dir, int cycle);
 
 }  // namespace mum::run

@@ -10,6 +10,7 @@ const char* to_cstring(CycleOutcome outcome) noexcept {
     case CycleOutcome::kFromCheckpoint: return "from_checkpoint";
     case CycleOutcome::kFailed: return "failed";
     case CycleOutcome::kSkipped: return "skipped";
+    case CycleOutcome::kFromData: return "from_data";
   }
   return "unknown";
 }
@@ -58,6 +59,8 @@ std::string RunManifest::to_json() const {
   json.field("ok", static_cast<std::uint64_t>(count(CycleOutcome::kOk)));
   json.field("from_checkpoint", static_cast<std::uint64_t>(
                                     count(CycleOutcome::kFromCheckpoint)));
+  json.field("from_data",
+             static_cast<std::uint64_t>(count(CycleOutcome::kFromData)));
   json.field("failed",
              static_cast<std::uint64_t>(count(CycleOutcome::kFailed)));
   json.field("skipped",

@@ -21,6 +21,8 @@ enum class CycleOutcome : std::uint8_t {
   kFromCheckpoint,  // restored from a checkpoint file (--resume)
   kFailed,          // the worker threw; report slot is an empty placeholder
   kSkipped,         // not attempted (failure budget exhausted / fail-fast)
+  kFromData,        // recomputed from persisted data shards (--resume with
+                    // checkpoint_data and no report checkpoint)
 };
 const char* to_cstring(CycleOutcome outcome) noexcept;
 

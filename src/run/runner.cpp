@@ -4,6 +4,8 @@
 #include <mutex>
 #include <ostream>
 
+#include "dataset/pack.h"
+#include "dataset/snapshot_source.h"
 #include "dataset/warts_lite.h"
 #include "run/checkpoint.h"
 #include "util/rng.h"
@@ -52,24 +54,27 @@ lpr::CycleReport Runner::run_cycle(int cycle) const {
   return run_cycle_chaos(cycle, nullptr);
 }
 
-lpr::CycleReport Runner::run_cycle_chaos(int cycle,
-                                         chaos::Corruptor* corruptor) const {
+dataset::MonthData Runner::prepare_month(
+    int cycle, chaos::Corruptor* corruptor,
+    dataset::DecodeDiagnostics* decode) const {
   dataset::MonthData month = month_data(cycle);
-  dataset::DecodeDiagnostics decode;
   if (corruptor != nullptr) {
     for (std::size_t sub = 0; sub < month.snapshots.size(); ++sub) {
       dataset::Snapshot& snapshot = month.snapshots[sub];
       if (corruptor->config().flip_byte > 0) {
-        // Wire faults exercise the real ingest path: serialize, flip bits,
-        // tolerant-decode, keep whatever the decoder salvaged.
-        std::string bytes = dataset::serialize_snapshot(snapshot);
+        // Wire faults exercise the real ingest path: serialize (in the
+        // configured container format), flip bits, tolerant-decode, keep
+        // whatever the decoder salvaged.
+        std::string bytes = config_.snapshot_format >= dataset::kPackVersion
+                                ? dataset::serialize_pack(snapshot)
+                                : dataset::serialize_snapshot(snapshot);
         corruptor->corrupt_bytes(
             bytes,
             util::hash_combine(static_cast<std::uint64_t>(cycle), sub));
         dataset::DecodeDiagnostics diag;
-        auto salvaged = dataset::parse_snapshot(
+        auto salvaged = dataset::decode_snapshot(
             bytes, dataset::DecodeOptions{.tolerant = true}, &diag);
-        decode.merge(diag);
+        if (decode != nullptr) decode->merge(diag);
         if (salvaged) {
           // The runner knows which cycle it is processing; a flipped header
           // field must not relabel the snapshot (or derail the structural
@@ -88,9 +93,38 @@ lpr::CycleReport Runner::run_cycle_chaos(int cycle,
       corruptor->corrupt(snapshot);
     }
   }
+  return month;
+}
+
+lpr::CycleReport Runner::run_cycle_chaos(int cycle,
+                                         chaos::Corruptor* corruptor) const {
+  dataset::DecodeDiagnostics decode;
+  const dataset::MonthData month = prepare_month(cycle, corruptor, &decode);
   lpr::CycleReport report =
       lpr::run_pipeline(month, ip2as_, config_.pipeline, pool_.get());
   report.decode = std::move(decode);
+  return report;
+}
+
+std::optional<lpr::CycleReport> Runner::run_cycle_from_data(int cycle) const {
+  const auto paths = find_data_shards(config_.checkpoint_dir, cycle);
+  if (paths.empty()) return std::nullopt;
+  // Strict decode: these shards were written by a previous run; damage
+  // means the cycle should be regenerated, not silently thinned.
+  const auto source = dataset::make_file_source(
+      paths, dataset::DecodeOptions{}, pool_.get());
+  dataset::MonthData month;
+  month.cycle_id = static_cast<std::uint32_t>(cycle);
+  month.date = gen::cycle_date(cycle);
+  while (auto snapshot = source->next()) {
+    // Annotations are not persisted in either container format.
+    ip2as_.annotate(snapshot->traces);
+    month.snapshots.push_back(std::move(*snapshot));
+  }
+  if (source->failed() || month.snapshots.empty()) return std::nullopt;
+  lpr::CycleReport report =
+      lpr::run_pipeline(month, ip2as_, config_.pipeline, pool_.get());
+  report.decode = source->diagnostics();
   return report;
 }
 
@@ -162,7 +196,17 @@ RunOutcome Runner::run_all_contained(std::ostream* progress) const {
         status.outcome = CycleOutcome::kFromCheckpoint;
         return;
       }
-      // Missing or corrupt checkpoint: recompute below.
+      // No (or stale) report checkpoint: a cycle with persisted data shards
+      // re-ingests them — cheaper than regenerating, and identical for
+      // clean runs. Failing that, recompute below.
+      if (config_.checkpoint_data) {
+        if (auto from_data = run_cycle_from_data(cycle)) {
+          slot = std::move(*from_data);
+          status.outcome = CycleOutcome::kFromData;
+          write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
+          return;
+        }
+      }
     }
 
     chaos::Corruptor corruptor(config_.chaos);
@@ -171,7 +215,22 @@ RunOutcome Runner::run_all_contained(std::ostream* progress) const {
         throw chaos::ChaosError("injected failure in cycle " +
                                 std::to_string(cycle + 1));
       }
-      slot = run_cycle_chaos(cycle, data_chaos ? &corruptor : nullptr);
+      if (checkpoints && config_.checkpoint_data) {
+        // Keep the month in hand so its snapshots can be persisted; the
+        // shards carry the post-chaos data (what the pipeline actually saw).
+        dataset::DecodeDiagnostics decode;
+        const dataset::MonthData month =
+            prepare_month(cycle, data_chaos ? &corruptor : nullptr, &decode);
+        for (std::size_t sub = 0; sub < month.snapshots.size(); ++sub) {
+          write_data_shard(config_.checkpoint_dir, cycle, sub,
+                           month.snapshots[sub], config_.snapshot_format);
+        }
+        slot = lpr::run_pipeline(month, ip2as_, config_.pipeline,
+                                 pool_.get());
+        slot.decode = std::move(decode);
+      } else {
+        slot = run_cycle_chaos(cycle, data_chaos ? &corruptor : nullptr);
+      }
       status.outcome = CycleOutcome::kOk;
       if (checkpoints) {
         write_checkpoint_file(config_.checkpoint_dir, cycle, slot);

@@ -59,6 +59,15 @@ struct RunnerConfig {
   // the resumed final report is byte-identical to an uninterrupted run.
   std::string checkpoint_dir;
   bool resume = false;
+  // Container format for snapshot wire round-trips and data shards: 2 =
+  // warts-lite stream (the interchange format, default), 3 = mmap pack.
+  std::uint8_t snapshot_format = 2;
+  // Also persist each cycle's month data as per-snapshot shards in
+  // checkpoint_dir. On resume, a cycle whose report checkpoint is missing
+  // or stale re-ingests its shards (any mix of formats — readers sniff the
+  // magic) instead of regenerating; the manifest marks it kFromData. For
+  // clean (chaos-free) runs the resumed report stays byte-identical.
+  bool checkpoint_data = false;
 };
 
 // What run_all_contained produces: the science and the operational record.
@@ -104,12 +113,18 @@ class Runner {
 
  private:
   gen::CampaignConfig campaign_for(int cycle) const;
-  // run_cycle plus optional chaos: structural faults mutate the month's
+  // month_data plus optional chaos: structural faults mutate the month's
   // snapshots in place; wire faults round-trip them through serialization
-  // and tolerant decode (re-annotating survivors), with the decoder's
-  // diagnostics merged into the report.
+  // (in config.snapshot_format) and tolerant decode, re-annotating
+  // survivors, with the decoder's diagnostics accumulated into `decode`.
+  dataset::MonthData prepare_month(int cycle, chaos::Corruptor* corruptor,
+                                   dataset::DecodeDiagnostics* decode) const;
   lpr::CycleReport run_cycle_chaos(int cycle,
                                    chaos::Corruptor* corruptor) const;
+  // Re-ingest a cycle's persisted data shards (strict decode, magic-sniffed
+  // per shard) and run the pipeline on them. nullopt when shards are
+  // missing or undecodable — the caller recomputes from generation.
+  std::optional<lpr::CycleReport> run_cycle_from_data(int cycle) const;
 
   RunnerConfig config_;
   // Declared before internet_: the pool also parallelizes the per-AS IGP

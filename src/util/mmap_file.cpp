@@ -1,0 +1,116 @@
+#include "util/mmap_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MUM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace mum::util {
+
+namespace {
+
+// Shared fallback: read the whole file into the owned buffer.
+bool read_into(const std::string& path, std::string& buffer) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  if (is.bad()) return false;
+  buffer = std::move(ss).str();
+  return true;
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() { reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      buffer_(std::move(other.buffer_)) {
+  if (!mapped_) data_ = buffer_.data();
+  other.data_ = "";
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    buffer_ = std::move(other.buffer_);
+    if (!mapped_) data_ = buffer_.data();
+    other.data_ = "";
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MmapFile::reset() noexcept {
+#if MUM_HAVE_MMAP
+  if (mapped_ && size_ > 0) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  data_ = "";
+  size_ = 0;
+  mapped_ = false;
+  buffer_.clear();
+}
+
+std::optional<MmapFile> MmapFile::open_ro(const std::string& path) {
+  MmapFile file;
+#if MUM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const auto size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        return file;  // valid empty view; mmap would reject length 0
+      }
+      int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+      // Prefault the whole mapping up front: ingest reads every byte once
+      // (checksums + column scans), and one batched populate is far cheaper
+      // than thousands of individual soft faults along the way.
+      flags |= MAP_POPULATE;
+#endif
+      void* map = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+      // The mapping keeps the pages alive on its own; the fd can go.
+      ::close(fd);
+      if (map != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+        ::madvise(map, size, MADV_SEQUENTIAL);
+#endif
+        file.data_ = static_cast<const char*>(map);
+        file.size_ = size;
+        file.mapped_ = true;
+        return file;
+      }
+      // Map failed (unusual filesystem?): fall through to the read path.
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  if (!read_into(path, file.buffer_)) return std::nullopt;
+  file.data_ = file.buffer_.data();
+  file.size_ = file.buffer_.size();
+  file.mapped_ = false;
+  return file;
+}
+
+}  // namespace mum::util

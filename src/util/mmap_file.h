@@ -1,0 +1,49 @@
+// Read-only memory-mapped files with a graceful read-into-buffer fallback.
+//
+// The warts-lite v3 pack format (dataset/pack.h) is designed to be consumed
+// in place from a read-only mapping: validation is pointer arithmetic over
+// the section table, never a record-by-record parse. On POSIX platforms
+// open_ro() mmaps the file (MAP_PRIVATE, PROT_READ, advised sequential);
+// elsewhere — or when the map itself fails, e.g. on zero-length files or
+// filesystems without mmap — it silently falls back to reading the whole
+// file into an owned buffer. Callers never branch on platform: they get a
+// stable (data, size) view either way, and `mapped()` only matters to
+// benchmarks that want to report which path they measured.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mum::util {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  // Map (or read) `path`; nullopt when the file cannot be opened or read.
+  static std::optional<MmapFile> open_ro(const std::string& path);
+
+  const char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  std::string_view view() const noexcept { return {data_, size_}; }
+  // True when the view is a real mapping; false on the buffer fallback.
+  bool mapped() const noexcept { return mapped_; }
+
+ private:
+  void reset() noexcept;
+
+  const char* data_ = "";  // never null: empty files get a valid empty view
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string buffer_;  // owns the bytes on the fallback path
+};
+
+}  // namespace mum::util

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "dataset/pack.h"
 #include "dataset/warts_lite.h"
 #include "gen/campaign.h"
 #include "run/checkpoint.h"
@@ -404,6 +405,57 @@ TEST_F(ResumeTest, ResumedRunIsByteIdenticalAtAnyThreadCount) {
   EXPECT_EQ(resumed.report.to_json(), full.report.to_json());
 
   // Resuming a finished run restores every cycle from disk.
+  run::Runner third(config);
+  const auto restored = third.run_all_contained();
+  EXPECT_EQ(restored.manifest.count(run::CycleOutcome::kFromCheckpoint),
+            static_cast<std::size_t>(kCycles));
+  EXPECT_EQ(restored.report.to_json(), full.report.to_json());
+}
+
+TEST_F(ResumeTest, ResumeReingestsMixedFormatDataShards) {
+  constexpr int kCycles = 4;
+  auto config = small_runner(kCycles, /*threads=*/2);
+  config.checkpoint_dir = dir_.string();
+  config.checkpoint_data = true;  // persist per-snapshot shards (v2 default)
+  run::Runner first(config);
+  const auto full = first.run_all_contained();
+  ASSERT_TRUE(full.manifest.complete());
+  ASSERT_TRUE(fs::exists(
+      dir_ / run::data_shard_filename(1, 0, dataset::kWartsLiteVersion)));
+
+  // Rewrite cycle 2's shards as v3 packs — the directory now mixes formats.
+  const auto shard_paths = run::find_data_shards(dir_.string(), 2);
+  ASSERT_FALSE(shard_paths.empty());
+  for (std::size_t sub = 0; sub < shard_paths.size(); ++sub) {
+    std::string bytes;
+    {
+      std::ifstream is(shard_paths[sub], std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(is), {});
+    }
+    const auto snap = dataset::parse_snapshot(bytes);
+    ASSERT_TRUE(snap.has_value());
+    fs::remove(shard_paths[sub]);
+    ASSERT_TRUE(run::write_data_shard(dir_.string(), 2, sub, *snap,
+                                      dataset::kPackVersion));
+  }
+  // Kill two report checkpoints: cycle 1 (v2 shards) and cycle 2 (now v3).
+  fs::remove(dir_ / run::checkpoint_filename(1));
+  fs::remove(dir_ / run::checkpoint_filename(2));
+
+  // Resume re-ingests both cycles from their shards — sniffing the magic
+  // per shard — and the report comes out identical to the original run.
+  config.resume = true;
+  config.threads = 3;
+  run::Runner second(config);
+  const auto resumed = second.run_all_contained();
+  ASSERT_TRUE(resumed.manifest.complete());
+  EXPECT_EQ(resumed.manifest.count(run::CycleOutcome::kFromCheckpoint), 2u);
+  EXPECT_EQ(resumed.manifest.count(run::CycleOutcome::kFromData), 2u);
+  EXPECT_EQ(resumed.manifest.count(run::CycleOutcome::kOk), 0u);
+  EXPECT_EQ(resumed.report.to_json(), full.report.to_json());
+
+  // The from-data path rewrote the missing report checkpoints, so a third
+  // resume restores every cycle from disk without touching the shards.
   run::Runner third(config);
   const auto restored = third.run_all_contained();
   EXPECT_EQ(restored.manifest.count(run::CycleOutcome::kFromCheckpoint),

@@ -223,6 +223,62 @@ TEST_F(CliPipeline, StatsRejectsGarbageFile) {
   EXPECT_NE(out.find("not a warts-lite snapshot"), std::string::npos);
 }
 
+TEST_F(CliPipeline, GenerateV3PackAndMixedFormatIngest) {
+  std::string out;
+  ASSERT_EQ(run_cmd({"generate", "--out", dir_.string(), "--cycle", "50",
+                     "--small", "--snapshots", "2"},
+                    &out),
+            kExitOk)
+      << out;
+  ASSERT_EQ(run_cmd({"generate", "--out", (dir_ / "pack").string(),
+                     "--cycle", "50", "--small", "--snapshots", "2",
+                     "--format", "v3"},
+                    &out),
+            kExitOk)
+      << out;
+  const fs::path p0 = dir_ / "pack" / "cycle50_s0.mump";
+  const fs::path p1 = dir_ / "pack" / "cycle50_s1.mump";
+  ASSERT_TRUE(fs::exists(p0));
+  ASSERT_TRUE(fs::exists(p1));
+  const std::string table = (dir_ / "ip2as.txt").string();
+  const fs::path w0 = dir_ / "cycle50_s0.mumw";
+  const fs::path w1 = dir_ / "cycle50_s1.mumw";
+
+  // Same generation either container: classification output is identical,
+  // and a mixed v2+v3 file list reads transparently (readers sniff magic).
+  std::string via_v2, via_v3, mixed;
+  ASSERT_EQ(run_cmd({"classify", "--ip2as", table, w0.string(), w1.string()},
+                    &via_v2),
+            kExitOk)
+      << via_v2;
+  ASSERT_EQ(run_cmd({"classify", "--ip2as", table, p0.string(), p1.string()},
+                    &via_v3),
+            kExitOk);
+  EXPECT_EQ(via_v2, via_v3);
+  ASSERT_EQ(run_cmd({"classify", "--ip2as", table, w0.string(), p1.string()},
+                    &mixed),
+            kExitOk);
+  EXPECT_EQ(mixed, via_v2);
+  EXPECT_EQ(run_cmd({"stats", p0.string()}, &out), kExitOk);
+  EXPECT_NE(out.find("traces"), std::string::npos);
+
+  // Bad --format values are usage errors, on both subcommands.
+  EXPECT_EQ(run_cmd({"generate", "--out", dir_.string(), "--cycle", "50",
+                     "--format", "v9"},
+                    &out),
+            kExitUsage);
+  EXPECT_NE(out.find("--format"), std::string::npos);
+  EXPECT_EQ(run_cmd({"campaign", "--cycles", "1", "--small", "--format",
+                     "banana"},
+                    &out),
+            kExitUsage);
+  // --checkpoint-data only makes sense with a checkpoint directory.
+  EXPECT_EQ(run_cmd({"campaign", "--cycles", "1", "--small",
+                     "--checkpoint-data"},
+                    &out),
+            kExitUsage);
+}
+
 // --- exit codes ------------------------------------------------------------
 
 TEST_F(CliPipeline, UsageErrorsExitOne) {

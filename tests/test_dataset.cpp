@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "dataset/ip2as.h"
+#include "dataset/pack.h"
 #include "dataset/trace.h"
 #include "dataset/warts_lite.h"
 #include "icmp/icmp.h"
@@ -369,6 +370,75 @@ TEST(WartsLite, V1UnframedFaultAbandonsRemainder) {
   ASSERT_TRUE(salvaged.has_value());
   EXPECT_LT(salvaged->trace_count(), snap.trace_count());
   EXPECT_FALSE(diag.clean());
+}
+
+// --- v3 pack section claims --------------------------------------------
+// The pack container (dataset/pack.h) maps its structural damage onto the
+// same FaultClass taxonomy the v2 stream uses; oversized and overlapping
+// section claims are the two cases the section-table validator must catch
+// before any payload is touched. Detailed pack coverage is in test_pack.cpp.
+
+std::size_t pack_entry_at(PackSection s) {
+  return kPackHeaderBytes +
+         static_cast<std::size_t>(s) * kPackSectionEntryBytes;
+}
+
+void pack_write_le64(std::string& bytes, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+TEST(PackFaults, OversizedSectionClaimIsBoundedNotAllocated) {
+  std::string bytes = serialize_pack(sample_snapshot());
+  // The hop-addr entry claims ~1e18 bytes: far past the mapping. Like the
+  // v2 oversized-claim case, the validator must bound the claim against the
+  // bytes present, never follow it.
+  pack_write_le64(bytes, pack_entry_at(PackSection::kHopAddr) + 16,
+                  0x0DE0B6B3A7640000ull);
+
+  DecodeDiagnostics strict_diag;
+  EXPECT_FALSE(parse_pack(bytes, DecodeOptions{}, &strict_diag).has_value());
+  EXPECT_GE(strict_diag.count(FaultClass::kOversizedClaim), 1u);
+
+  DecodeDiagnostics diag;
+  const auto salvaged =
+      parse_pack(bytes, DecodeOptions{.tolerant = true}, &diag);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_GE(diag.count(FaultClass::kOversizedClaim), 1u);
+  // The hop columns are gone; traces with hops are individually skipped,
+  // the hopless record survives.
+  ASSERT_EQ(salvaged->traces.size(), 1u);
+  EXPECT_TRUE(salvaged->traces[0].hops.empty());
+}
+
+TEST(PackFaults, OverlappingSectionsAreRejectedAsBadTable) {
+  std::string bytes = serialize_pack(sample_snapshot());
+  // Point the src column at the monitor column's payload: two claims over
+  // one region means at least one of them lies, so both are dropped.
+  const std::size_t monitor_entry = pack_entry_at(PackSection::kTraceMonitor);
+  const std::size_t src_entry = pack_entry_at(PackSection::kTraceSrc);
+  for (std::size_t field : {std::size_t{8}, std::size_t{16},
+                            std::size_t{24}}) {  // offset, bytes, checksum
+    for (int i = 0; i < 8; ++i) {
+      bytes[src_entry + field + static_cast<std::size_t>(i)] =
+          bytes[monitor_entry + field + static_cast<std::size_t>(i)];
+    }
+  }
+
+  DecodeDiagnostics strict_diag;
+  EXPECT_FALSE(parse_pack(bytes, DecodeOptions{}, &strict_diag).has_value());
+  EXPECT_GE(strict_diag.count(FaultClass::kBadSectionTable), 1u);
+
+  DecodeDiagnostics diag;
+  const auto salvaged =
+      parse_pack(bytes, DecodeOptions{.tolerant = true}, &diag);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_GE(diag.count(FaultClass::kBadSectionTable), 1u);
+  // A core trace column is unusable: the snapshot degrades to empty rather
+  // than serving aliased data.
+  EXPECT_TRUE(salvaged->traces.empty());
 }
 
 TEST(WartsLite, TextRenderingContainsKeyFields) {

@@ -1,0 +1,417 @@
+// warts-lite v3 pack: round trips, checksums, fault taxonomy, v2 parity,
+// and the SnapshotSource / MmapFile ingest stack built on top of it.
+#include "dataset/pack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "dataset/snapshot_source.h"
+#include "dataset/warts_lite.h"
+#include "run/runner.h"
+#include "util/mmap_file.h"
+#include "util/thread_pool.h"
+
+namespace mum::dataset {
+namespace {
+
+namespace fs = std::filesystem;
+
+net::Ipv4Addr ip(std::uint32_t v) { return net::Ipv4Addr(v); }
+
+Snapshot sample_snapshot() {
+  Snapshot snap;
+  snap.cycle_id = 42;
+  snap.sub_index = 1;
+  snap.date = "2014-12";
+  Trace t;
+  t.monitor_id = 7;
+  t.src = ip(0x01020304);
+  t.dst = ip(0x05060708);
+  t.reached = true;
+  TraceHop plain;
+  plain.addr = ip(0x0A000001);
+  plain.rtt_ms = 1.25;
+  t.hops.push_back(plain);
+  t.hops.push_back(TraceHop{});  // anonymous hop
+  TraceHop multi;
+  multi.addr = ip(0x0A000002);
+  multi.rtt_ms = 33.5;
+  multi.labels.push(300123, 0, 1);
+  multi.labels.push(17, 2, 255);
+  t.hops.push_back(multi);
+  snap.traces.push_back(t);
+  Trace unreached;
+  unreached.monitor_id = 8;
+  unreached.src = ip(1);
+  unreached.dst = ip(2);
+  unreached.reached = false;  // zero hops
+  snap.traces.push_back(unreached);
+  return snap;
+}
+
+// Little-endian field surgery on serialized packs.
+void write_le64(std::string& bytes, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint64_t read_le64(const std::string& bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{static_cast<unsigned char>(
+             bytes[at + static_cast<std::size_t>(i)])}
+         << (8 * i);
+  }
+  return v;
+}
+
+std::size_t entry_at(PackSection s) {
+  return kPackHeaderBytes +
+         static_cast<std::size_t>(s) * kPackSectionEntryBytes;
+}
+
+// After editing a section's payload, restamp its table checksum so only the
+// fault under test fires.
+void restamp_checksum(std::string& bytes, PackSection s) {
+  const std::size_t at = entry_at(s);
+  const auto off = static_cast<std::size_t>(read_le64(bytes, at + 8));
+  const auto len = static_cast<std::size_t>(read_le64(bytes, at + 16));
+  write_le64(bytes, at + 24,
+             pack_checksum(std::string_view(bytes).substr(off, len)));
+}
+
+// --- checksum -----------------------------------------------------------
+
+TEST(PackChecksum, DeterministicAndSensitive) {
+  const std::string a(100, 'x');
+  EXPECT_EQ(pack_checksum(a), pack_checksum(a));
+  // Any single-byte change, in any lane position, changes the digest.
+  for (std::size_t i = 0; i < a.size(); i += 7) {
+    std::string b = a;
+    b[i] ^= 0x01;
+    EXPECT_NE(pack_checksum(b), pack_checksum(a)) << "byte " << i;
+  }
+  // Length is folded in: a zero byte appended is not a fixed point.
+  EXPECT_NE(pack_checksum(a + std::string(1, '\0')), pack_checksum(a));
+  EXPECT_NE(pack_checksum(""), pack_checksum(std::string(1, '\0')));
+}
+
+// --- round trips --------------------------------------------------------
+
+TEST(Pack, RoundTripPreservesEverything) {
+  const Snapshot snap = sample_snapshot();
+  const std::string bytes = serialize_pack(snap);
+  ASSERT_GE(bytes.size(), kPackHeaderBytes);
+  EXPECT_EQ(bytes.substr(0, 4), "MUMP");
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[4]), kPackVersion);
+
+  DecodeDiagnostics diag;
+  const auto back = parse_pack(bytes, DecodeOptions{}, &diag);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(diag.clean());
+  EXPECT_EQ(diag.records_decoded, 2u);
+  EXPECT_EQ(back->cycle_id, snap.cycle_id);
+  EXPECT_EQ(back->sub_index, snap.sub_index);
+  EXPECT_EQ(back->date, snap.date);
+  ASSERT_EQ(back->traces.size(), 2u);
+  const Trace& t0 = back->traces[0];
+  EXPECT_EQ(t0.monitor_id, 7u);
+  EXPECT_EQ(t0.src, snap.traces[0].src);
+  EXPECT_EQ(t0.dst, snap.traces[0].dst);
+  EXPECT_TRUE(t0.reached);
+  ASSERT_EQ(t0.hops.size(), 3u);
+  EXPECT_NEAR(t0.hops[0].rtt_ms, 1.25, 1e-3);
+  EXPECT_TRUE(t0.hops[1].anonymous());
+  EXPECT_EQ(t0.hops[2].labels, snap.traces[0].hops[2].labels);
+  EXPECT_FALSE(back->traces[1].reached);
+  EXPECT_TRUE(back->traces[1].hops.empty());
+
+  // Serialization is deterministic byte-for-byte.
+  EXPECT_EQ(serialize_pack(*back), bytes);
+}
+
+TEST(Pack, EmptySnapshotRoundTrip) {
+  Snapshot snap;
+  snap.cycle_id = 3;
+  snap.date = "2011-07";
+  const auto back = parse_pack(serialize_pack(snap));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->cycle_id, 3u);
+  EXPECT_EQ(back->date, "2011-07");
+  EXPECT_TRUE(back->traces.empty());
+}
+
+TEST(Pack, SectionsAreAligned) {
+  const std::string bytes = serialize_pack(sample_snapshot());
+  for (std::size_t s = 0; s < kPackSectionCount; ++s) {
+    const std::size_t at = kPackHeaderBytes + s * kPackSectionEntryBytes;
+    EXPECT_EQ(read_le64(bytes, at + 8) % kPackAlignment, 0u) << "section " << s;
+  }
+  EXPECT_EQ(read_le64(bytes, 24), bytes.size());  // header total_bytes
+}
+
+TEST(Pack, ViewExposesColumnsWithoutMaterializing) {
+  const Snapshot snap = sample_snapshot();
+  const std::string bytes = serialize_pack(snap);
+  DecodeDiagnostics diag;
+  const auto view = PackView::open(bytes, DecodeOptions{}, &diag);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->trace_count(), 2u);
+  EXPECT_EQ(view->hop_count(), 3u);
+  EXPECT_EQ(view->lse_count(), 2u);
+  EXPECT_EQ(view->valid_count(), 2u);
+  EXPECT_TRUE(view->trace_valid(0));
+  EXPECT_FALSE(view->trace_valid(99));
+  EXPECT_EQ(view->date(), "2014-12");
+  EXPECT_EQ(view->trace(1).monitor_id, 8u);
+}
+
+// --- container faults ---------------------------------------------------
+
+TEST(Pack, RejectsBadMagicAndVersion) {
+  std::string bytes = serialize_pack(sample_snapshot());
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  DecodeDiagnostics diag;
+  // Wrong magic is not recognizable even tolerantly.
+  EXPECT_FALSE(
+      parse_pack(wrong_magic, DecodeOptions{.tolerant = true}, &diag));
+  EXPECT_EQ(diag.count(FaultClass::kBadMagic), 1u);
+
+  std::string wrong_version = bytes;
+  wrong_version[4] = 9;
+  diag = {};
+  EXPECT_FALSE(
+      parse_pack(wrong_version, DecodeOptions{.tolerant = true}, &diag));
+  EXPECT_EQ(diag.count(FaultClass::kBadVersion), 1u);
+}
+
+TEST(Pack, TruncationSweepIsBoundsSafe) {
+  const std::string bytes = serialize_pack(sample_snapshot());
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    const std::string_view cut(bytes.data(), len);
+    // Strict: any truncation (except the full buffer) is a hard fault.
+    DecodeDiagnostics strict;
+    const auto s = parse_pack(cut, DecodeOptions{}, &strict);
+    if (len == bytes.size()) {
+      EXPECT_TRUE(s.has_value());
+    } else {
+      EXPECT_FALSE(s.has_value()) << "len " << len;
+      EXPECT_GT(strict.faults_total(), 0u) << "len " << len;
+    }
+    // Tolerant: never reads past `cut` (ASan tier), never returns more than
+    // the original traces, and accepts once magic + version survive.
+    DecodeDiagnostics tol;
+    const auto t = parse_pack(cut, DecodeOptions{.tolerant = true}, &tol);
+    if (len >= 5) {
+      ASSERT_TRUE(t.has_value()) << "len " << len;
+      EXPECT_LE(t->traces.size(), 2u);
+    } else {
+      EXPECT_FALSE(t.has_value());
+    }
+  }
+}
+
+TEST(Pack, ChecksumMismatchIsStrictFatalTolerantSurvivable) {
+  std::string bytes = serialize_pack(sample_snapshot());
+  // Flip one byte inside the hop-rtt payload (leaves structure intact).
+  const std::size_t off = static_cast<std::size_t>(
+      read_le64(bytes, entry_at(PackSection::kHopRtt) + 8));
+  bytes[off] = static_cast<char>(static_cast<unsigned char>(bytes[off]) ^ 0x40);
+
+  DecodeDiagnostics strict;
+  EXPECT_FALSE(parse_pack(bytes, DecodeOptions{}, &strict));
+  EXPECT_EQ(strict.count(FaultClass::kChecksumMismatch), 1u);
+
+  DecodeDiagnostics tol;
+  const auto salvaged = parse_pack(bytes, DecodeOptions{.tolerant = true}, &tol);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_EQ(tol.count(FaultClass::kChecksumMismatch), 1u);
+  // The damaged column stays bounds-safe: all records still decode (with a
+  // wrong rtt in one hop), nothing is lost structurally.
+  EXPECT_EQ(salvaged->traces.size(), 2u);
+}
+
+TEST(Pack, BadOffsetColumnSkipsExactlyTheDamagedRecord) {
+  std::string bytes = serialize_pack(sample_snapshot());
+  // Make trace 0's hop range non-monotone (start beyond end), restamping the
+  // section checksum so only the offset fault fires.
+  const std::size_t off = static_cast<std::size_t>(
+      read_le64(bytes, entry_at(PackSection::kTraceHopOffset) + 8));
+  write_le64(bytes, off, 5);  // hop_off[0] = 5 > hop_off[1] = 3
+  restamp_checksum(bytes, PackSection::kTraceHopOffset);
+
+  DecodeDiagnostics strict;
+  EXPECT_FALSE(parse_pack(bytes, DecodeOptions{}, &strict));
+  EXPECT_GT(strict.count(FaultClass::kBadOffsetIndex), 0u);
+
+  DecodeDiagnostics tol;
+  const auto salvaged = parse_pack(bytes, DecodeOptions{.tolerant = true}, &tol);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_EQ(tol.count(FaultClass::kBadOffsetIndex), 1u);
+  EXPECT_EQ(tol.records_skipped, 1u);
+  EXPECT_EQ(tol.records_decoded, 1u);
+  ASSERT_EQ(salvaged->traces.size(), 1u);
+  EXPECT_EQ(salvaged->traces[0].monitor_id, 8u);  // the undamaged record
+}
+
+// --- v2 <-> v3 parity ---------------------------------------------------
+
+TEST(Pack, ParityWithV2AcrossFormatsAndThreadCounts) {
+  run::RunnerConfig config;
+  config.gen.background_tier1 = 1;
+  config.gen.background_transit = 6;
+  config.gen.stub_ases = 8;
+  config.gen.monitors = 4;
+  config.gen.dests_per_monitor = 60;
+  config.threads = 1;
+  run::Runner runner(config);
+  const dataset::MonthData month = runner.month_data(0);
+  ASSERT_FALSE(month.snapshots.empty());
+
+  // The same month through both containers...
+  auto reingest = [&](bool pack) {
+    dataset::MonthData out;
+    out.cycle_id = month.cycle_id;
+    out.date = month.date;
+    for (const Snapshot& snap : month.snapshots) {
+      const std::string bytes =
+          pack ? serialize_pack(snap) : serialize_snapshot(snap);
+      auto back = decode_snapshot(bytes);
+      EXPECT_TRUE(back.has_value());
+      runner.ip2as().annotate(back->traces);
+      out.snapshots.push_back(std::move(*back));
+    }
+    return out;
+  };
+  const dataset::MonthData via_v2 = reingest(false);
+  const dataset::MonthData via_v3 = reingest(true);
+
+  // ...yields byte-identical LPR reports at any thread count.
+  const lpr::CycleReport baseline =
+      lpr::run_pipeline(via_v2, runner.ip2as(), {}, nullptr);
+  ASSERT_GT(baseline.global.total(), 0u);
+  const std::string want = baseline.to_json(true);
+  EXPECT_EQ(lpr::run_pipeline(via_v3, runner.ip2as(), {}, nullptr)
+                .to_json(true),
+            want);
+  for (const unsigned threads : {2u, 4u}) {
+    util::ThreadPool pool(threads);
+    EXPECT_EQ(lpr::run_pipeline(via_v2, runner.ip2as(), {}, &pool)
+                  .to_json(true),
+              want);
+    EXPECT_EQ(lpr::run_pipeline(via_v3, runner.ip2as(), {}, &pool)
+                  .to_json(true),
+              want);
+  }
+}
+
+// --- MmapFile -----------------------------------------------------------
+
+TEST(MmapFileTest, MapsReadsAndFallsBackGracefully) {
+  const fs::path dir = fs::temp_directory_path() / "mum_pack_mmap";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  EXPECT_FALSE(util::MmapFile::open_ro((dir / "missing").string()));
+
+  // Zero-length files yield a valid empty view (mmap of 0 bytes fails; the
+  // fallback must cover it).
+  std::ofstream(dir / "empty", std::ios::binary).flush();
+  const auto empty = util::MmapFile::open_ro((dir / "empty").string());
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_NE(empty->data(), nullptr);
+
+  const std::string payload = serialize_pack(sample_snapshot());
+  std::ofstream(dir / "pack", std::ios::binary) << payload;
+  auto mapped = util::MmapFile::open_ro((dir / "pack").string());
+  ASSERT_TRUE(mapped.has_value());
+  EXPECT_EQ(mapped->view(), payload);
+  const auto moved = std::move(*mapped);
+  EXPECT_EQ(moved.view(), payload);
+
+  fs::remove_all(dir);
+}
+
+// --- SnapshotSource -----------------------------------------------------
+
+TEST(SnapshotSourceTest, MemoryAndBytesSourcesDrain) {
+  std::vector<Snapshot> snaps{sample_snapshot(), Snapshot{}};
+  auto memory = make_memory_source(std::move(snaps));
+  EXPECT_EQ(memory->next()->traces.size(), 2u);
+  EXPECT_TRUE(memory->next().has_value());
+  EXPECT_FALSE(memory->next().has_value());
+  EXPECT_FALSE(memory->failed());
+
+  // A bytes source decodes a mix of containers, sniffing each buffer.
+  const Snapshot snap = sample_snapshot();
+  auto bytes = make_bytes_source({serialize_snapshot(snap),
+                                  serialize_pack(snap)});
+  const auto via_v2 = bytes->next();
+  const auto via_v3 = bytes->next();
+  ASSERT_TRUE(via_v2.has_value());
+  ASSERT_TRUE(via_v3.has_value());
+  EXPECT_EQ(serialize_snapshot(*via_v2), serialize_snapshot(*via_v3));
+  EXPECT_FALSE(bytes->next().has_value());
+  EXPECT_FALSE(bytes->failed());
+
+  auto bad = make_bytes_source({std::string("garbage")});
+  EXPECT_FALSE(bad->next().has_value());
+  EXPECT_TRUE(bad->failed());
+  EXPECT_NE(bad->error().find("buffer 0"), std::string::npos);
+}
+
+TEST(SnapshotSourceTest, FileSourceStreamsMixedFormats) {
+  const fs::path dir = fs::temp_directory_path() / "mum_pack_source";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  Snapshot a = sample_snapshot();
+  Snapshot b = sample_snapshot();
+  b.sub_index = 2;
+  std::ofstream(dir / "a.mumw", std::ios::binary) << serialize_snapshot(a);
+  std::ofstream(dir / "b.mump", std::ios::binary) << serialize_pack(b);
+  const std::vector<std::string> paths{(dir / "a.mumw").string(),
+                                       (dir / "b.mump").string()};
+
+  // With and without a pool (prefetch overlap) the stream is identical.
+  for (const bool pooled : {false, true}) {
+    util::ThreadPool pool(2);
+    auto source = make_file_source(paths, {}, pooled ? &pool : nullptr);
+    const auto first = source->next();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->sub_index, 1u);
+    EXPECT_EQ(source->last_path(), paths[0]);
+    const auto second = source->next();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->sub_index, 2u);
+    EXPECT_EQ(source->last_path(), paths[1]);
+    EXPECT_FALSE(source->next().has_value());
+    EXPECT_FALSE(source->failed());
+    EXPECT_TRUE(source->diagnostics().clean());
+  }
+
+  // Missing and undecodable files fail with the path in the error.
+  auto missing = make_file_source({(dir / "nope.mumw").string()}, {}, nullptr);
+  EXPECT_FALSE(missing->next().has_value());
+  EXPECT_NE(missing->error().find("cannot read"), std::string::npos);
+  std::ofstream(dir / "junk.mump", std::ios::binary) << "not a container";
+  auto junk = make_file_source({(dir / "junk.mump").string()}, {}, nullptr);
+  EXPECT_FALSE(junk->next().has_value());
+  EXPECT_TRUE(junk->failed());
+  EXPECT_NE(junk->error().find("junk.mump"), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mum::dataset

@@ -9,6 +9,8 @@
 #include "core/alias.h"
 #include "core/report.h"
 #include "core/tree.h"
+#include "dataset/pack.h"
+#include "dataset/snapshot_source.h"
 #include "dataset/warts_lite.h"
 #include "gen/campaign.h"
 #include "gen/internet.h"
@@ -94,32 +96,11 @@ std::optional<std::string> Args::unknown_flag() const {
 
 namespace {
 
-std::optional<dataset::Snapshot> load_snapshot(
-    const std::string& path, bool tolerant,
-    dataset::DecodeDiagnostics& decode, std::ostream& err) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    err << "cannot open " << path << '\n';
-    return std::nullopt;
-  }
-  dataset::DecodeDiagnostics diag;
-  auto snap = dataset::read_snapshot(
-      is, dataset::DecodeOptions{.tolerant = tolerant}, &diag);
-  decode.merge(diag);
-  if (!snap) {
-    err << path << ": not a warts-lite snapshot";
-    if (!diag.samples.empty()) {
-      const dataset::DecodeFault& first = diag.samples.front();
-      err << " (" << dataset::to_cstring(first.fault) << " at offset "
-          << first.offset << ": " << first.detail << ")";
-    }
-    err << '\n';
-  } else if (!diag.clean()) {
-    err << path << ": salvaged " << diag.records_decoded
-        << " records, skipped " << diag.records_skipped << " ("
-        << diag.faults_total() << " faults)\n";
-  }
-  return snap;
+// --format v2|v3: container format for files this command writes.
+std::optional<std::uint8_t> parse_format(const std::string& text) {
+  if (text == "v2" || text == "2") return dataset::kWartsLiteVersion;
+  if (text == "v3" || text == "3") return dataset::kPackVersion;
+  return std::nullopt;
 }
 
 std::optional<dataset::Ip2As> load_ip2as(const std::string& path,
@@ -152,7 +133,11 @@ struct LoadResult {
 
 // Consumes --tolerant/--strict along with the input flags. Strict (the
 // default) aborts on the first malformed record; tolerant skips and counts.
-LoadResult load_inputs(Args& args, std::ostream& err, bool need_ip2as) {
+// Files stream through a dataset::SnapshotSource, so both container
+// formats (and mixes of them) load through one path, with shard N+1
+// prefetched while shard N decodes when a pool is supplied.
+LoadResult load_inputs(Args& args, std::ostream& err, bool need_ip2as,
+                       util::ThreadPool* pool = nullptr) {
   const bool tolerant = args.take_flag("--tolerant");
   const bool strict = args.take_flag("--strict");
   if (tolerant && strict) {
@@ -176,12 +161,30 @@ LoadResult load_inputs(Args& args, std::ostream& err, bool need_ip2as) {
     err << "no snapshot files given\n";
     return {std::nullopt, kExitUsage};
   }
-  for (const auto& file : files) {
-    auto snap = load_snapshot(file, tolerant, data.decode, err);
-    if (!snap) return {std::nullopt, kExitFatal};
+  const auto source = dataset::make_file_source(
+      files, dataset::DecodeOptions{.tolerant = tolerant}, pool);
+  while (auto snap = source->next()) {
+    const dataset::DecodeDiagnostics& diag = source->last_diagnostics();
+    if (!diag.clean()) {
+      err << source->last_path() << ": salvaged " << diag.records_decoded
+          << " records, skipped " << diag.records_skipped << " ("
+          << diag.faults_total() << " faults)\n";
+    }
     data.ip2as.annotate(snap->traces);
     data.snapshots.push_back(std::move(*snap));
   }
+  if (source->failed()) {
+    err << source->error();
+    const dataset::DecodeDiagnostics& diag = source->last_diagnostics();
+    if (!diag.samples.empty()) {
+      const dataset::DecodeFault& first = diag.samples.front();
+      err << " (" << dataset::to_cstring(first.fault) << " at offset "
+          << first.offset << ": " << first.detail << ")";
+    }
+    err << '\n';
+    return {std::nullopt, kExitFatal};
+  }
+  data.decode = source->diagnostics();
   return {std::move(data), kExitOk};
 }
 
@@ -217,6 +220,7 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err) {
   const long seed = args.take_int("--seed", 20151028);
   const long snapshots = args.take_int("--snapshots", 3);
   const bool small = args.take_flag("--small");
+  const auto format_spec = args.take_value("--format");
   util::ThreadPool pool = make_pool(args);
   if (!args.ok()) {
     err << args.error() << '\n';
@@ -230,6 +234,15 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err) {
   if (cycle < 1 || cycle > gen::kCycles) {
     err << "--cycle must be in [1, " << gen::kCycles << "]\n";
     return kExitUsage;
+  }
+  std::uint8_t format = dataset::kWartsLiteVersion;
+  if (format_spec) {
+    const auto parsed = parse_format(*format_spec);
+    if (!parsed) {
+      err << "--format must be v2 or v3, got '" << *format_spec << "'\n";
+      return kExitUsage;
+    }
+    format = *parsed;
   }
 
   gen::GenConfig config;
@@ -251,15 +264,19 @@ int run_generate(Args& args, std::ostream& out, std::ostream& err) {
   fs::create_directories(*out_dir);
   for (const auto& snap : month.snapshots) {
     const fs::path file =
-        fs::path(*out_dir) / ("cycle" + std::to_string(snap.cycle_id + 1) +
-                              "_s" + std::to_string(snap.sub_index) +
-                              ".mumw");
+        fs::path(*out_dir) /
+        ("cycle" + std::to_string(snap.cycle_id + 1) + "_s" +
+         std::to_string(snap.sub_index) +
+         (format >= dataset::kPackVersion ? ".mump" : ".mumw"));
     std::ofstream os(file, std::ios::binary);
     if (!os) {
       err << "cannot write " << file << '\n';
       return kExitFatal;
     }
-    dataset::write_snapshot(os, snap);
+    const std::string bytes = format >= dataset::kPackVersion
+                                  ? dataset::serialize_pack(snap)
+                                  : dataset::serialize_snapshot(snap);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out << "wrote " << file.string() << " (" << snap.trace_count()
         << " traces)\n";
   }
@@ -283,7 +300,7 @@ int run_classify(Args& args, std::ostream& out, std::ostream& err) {
   const bool json = args.take_flag("--json");
   const bool json_iotps = args.take_flag("--json-iotps");
   util::ThreadPool pool = make_pool(args);
-  auto loaded = load_inputs(args, err, /*need_ip2as=*/true);
+  auto loaded = load_inputs(args, err, /*need_ip2as=*/true, &pool);
   if (!args.ok()) {
     err << args.error() << '\n';
     return kExitUsage;
@@ -441,9 +458,11 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
   const bool keep_going = args.take_flag("--keep-going");
   const bool json = args.take_flag("--json");
   const bool quiet = args.take_flag("--quiet");
+  const bool checkpoint_data = args.take_flag("--checkpoint-data");
   const auto chaos_spec = args.take_value("--chaos");
   const auto checkpoint_dir = args.take_value("--checkpoints");
   const auto resume_dir = args.take_value("--resume");
+  const auto format_spec = args.take_value("--format");
   if (!args.ok()) {
     err << args.error() << '\n';
     return kExitUsage;
@@ -476,6 +495,19 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
     config.resume = true;
   } else if (checkpoint_dir) {
     config.checkpoint_dir = *checkpoint_dir;
+  }
+  config.checkpoint_data = checkpoint_data;
+  if (checkpoint_data && config.checkpoint_dir.empty()) {
+    err << "--checkpoint-data requires --checkpoints or --resume\n";
+    return kExitUsage;
+  }
+  if (format_spec) {
+    const auto parsed = parse_format(*format_spec);
+    if (!parsed) {
+      err << "--format must be v2 or v3, got '" << *format_spec << "'\n";
+      return kExitUsage;
+    }
+    config.snapshot_format = *parsed;
   }
   if (chaos_spec) {
     std::string error;
@@ -513,9 +545,12 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
   if (!quiet) {
     err << "cycles: " << manifest.count(run::CycleOutcome::kOk) << " ok, "
         << manifest.count(run::CycleOutcome::kFromCheckpoint)
-        << " from checkpoint, " << manifest.count(run::CycleOutcome::kFailed)
-        << " failed, " << manifest.count(run::CycleOutcome::kSkipped)
-        << " skipped";
+        << " from checkpoint, ";
+    if (const auto from_data = manifest.count(run::CycleOutcome::kFromData)) {
+      err << from_data << " from data, ";
+    }
+    err << manifest.count(run::CycleOutcome::kFailed) << " failed, "
+        << manifest.count(run::CycleOutcome::kSkipped) << " skipped";
     const std::uint64_t injected = manifest.chaos_total().total();
     if (injected > 0) err << "; " << injected << " chaos faults injected";
     err << '\n';
@@ -535,7 +570,7 @@ std::string usage() {
       "\n"
       "commands:\n"
       "  generate  --out DIR [--cycle N] [--seed S] [--snapshots K]\n"
-      "            [--small] [--threads N]\n"
+      "            [--small] [--format v2|v3] [--threads N]\n"
       "                           synthesize an Archipelago-style month\n"
       "  classify  --ip2as FILE SNAP [SNAP...] [--j N] [--alias]\n"
       "            [--router-level] [--csv] [--json | --json-iotps]\n"
@@ -547,11 +582,15 @@ std::string usage() {
       "                           dataset-level statistics\n"
       "  campaign  [--cycles N] [--seed S] [--small] [--threads N]\n"
       "            [--chaos SPEC] [--keep-going] [--failure-budget N]\n"
-      "            [--checkpoints DIR] [--resume DIR] [--json] [--quiet]\n"
+      "            [--checkpoints DIR] [--resume DIR] [--checkpoint-data]\n"
+      "            [--format v2|v3] [--json] [--quiet]\n"
       "                           end-to-end campaign with containment\n"
       "\n"
       "--strict (the default) aborts on the first malformed record;\n"
       "--tolerant skips malformed records and reports what was dropped.\n"
+      "--format picks the container written to disk: v2 is the varint\n"
+      "stream (interchange default), v3 the mmap-able columnar pack.\n"
+      "Readers sniff the magic, so any command reads either format.\n"
       "--chaos takes fault=rate pairs, e.g. 'all=2%' or\n"
       "'flip=0.01,blackout=5%,fail=0.1,seed=7'.\n"
       "--threads 0 (the default) uses one thread per hardware thread; any\n"

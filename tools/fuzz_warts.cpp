@@ -1,11 +1,14 @@
-// Fuzz entry point for the warts-lite decoder.
+// Fuzz entry point for the warts-lite decoders (v1/v2 stream + v3 pack).
 //
 // Exposes the libFuzzer hook (LLVMFuzzerTestOneInput) so a clang
 // `-fsanitize=fuzzer` build can drive it (-DMUM_LIBFUZZER=ON). The default
 // build gets a standalone deterministic driver instead: it replays a corpus
-// of random buffers and mutated-but-plausible snapshots (bit flips,
-// truncations, splices of valid serializations), which is what
-// scripts/tier1.sh runs under ASan+UBSan.
+// of random buffers and mutated-but-plausible snapshots in both container
+// formats (bit flips, truncations, splices, and — for packs — targeted
+// header/section-table stomps), which is what scripts/tier1.sh runs under
+// ASan+UBSan. Decoding goes through parse_snapshot, which sniffs the magic,
+// so every buffer exercises whichever decoder claims it; a truncated pack
+// mapping must never be read past (the ASan tier enforces it).
 //
 // The oracle, both ways:
 //   * tolerant decode never crashes, never trips a sanitizer, and its
@@ -13,13 +16,15 @@
 //   * strict decode of the same bytes never crashes, and when it rejects it
 //     reports at least one fault;
 //   * whatever tolerant decode salvages re-serializes and re-parses cleanly
-//     (the salvaged subset is a valid snapshot in its own right).
+//     in BOTH formats (the salvaged subset is a valid snapshot in its own
+//     right, and the two containers agree on it).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "dataset/pack.h"
 #include "dataset/warts_lite.h"
 #include "util/rng.h"
 
@@ -43,7 +48,8 @@ void run_one(const std::string& bytes) {
   if (tolerant) {
     check(tolerant_diag.records_decoded == tolerant->traces.size(),
           "records_decoded mismatches returned traces");
-    // The salvaged subset must itself round-trip cleanly.
+    // The salvaged subset must itself round-trip cleanly — through the
+    // stream form and through the pack, and the two must agree.
     DecodeDiagnostics clean;
     const auto again = mum::dataset::parse_snapshot(
         mum::dataset::serialize_snapshot(*tolerant),
@@ -52,6 +58,14 @@ void run_one(const std::string& bytes) {
     check(clean.clean(), "salvaged snapshot re-parses with faults");
     check(again->traces.size() == tolerant->traces.size(),
           "salvaged snapshot loses traces on round trip");
+    DecodeDiagnostics pack_clean;
+    const auto packed = mum::dataset::parse_pack(
+        mum::dataset::serialize_pack(*tolerant),
+        DecodeOptions{.tolerant = true}, &pack_clean);
+    check(packed.has_value(), "salvaged snapshot does not re-parse as pack");
+    check(pack_clean.clean(), "salvaged pack re-parses with faults");
+    check(packed->traces.size() == tolerant->traces.size(),
+          "pack round trip loses traces");
   } else {
     check(tolerant_diag.faults_total() > 0,
           "tolerant rejection without a recorded fault");
@@ -151,6 +165,32 @@ std::string mutate(std::string bytes, mum::util::Rng& rng) {
   }
 }
 
+// Pack-targeted mutation: stomp fields inside the fixed header or the
+// section table (the first kPackHeaderBytes + 10 * kPackSectionEntryBytes
+// bytes), where a generic 4-byte stomp rarely lands. This is what drives
+// the bounds-checking in PackView::open — corrupted counts, offsets, sizes,
+// element widths and checksums.
+std::string stomp_pack_tables(std::string bytes, mum::util::Rng& rng) {
+  const std::size_t table_end =
+      mum::dataset::kPackHeaderBytes +
+      mum::dataset::kPackSectionCount * mum::dataset::kPackSectionEntryBytes;
+  const std::size_t limit = bytes.size() < table_end ? bytes.size() : table_end;
+  if (limit <= 4) return bytes;
+  const int stomps = 1 + static_cast<int>(rng.below(4));
+  for (int s = 0; s < stomps; ++s) {
+    // Aligned 4-byte stomps hit whole header/table fields.
+    const std::size_t at = 4 * rng.below(limit / 4);
+    const std::size_t width = at + 8 <= limit && rng.chance(0.5) ? 8 : 4;
+    for (std::size_t k = 0; k < width; ++k) {
+      bytes[at + k] =
+          rng.chance(0.3)
+              ? static_cast<char>(0xff)  // huge counts/offsets
+              : static_cast<char>(rng.below(256));
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,16 +218,27 @@ int main(int argc, char** argv) {
         bytes.push_back(static_cast<char>(rng.below(256)));
       }
       if (rng.chance(0.5)) {
-        // Give noise a valid header so it reaches the record decoder.
-        const std::string header = "MUMW";
-        bytes = header +
-                std::string(1, static_cast<char>(1 + rng.below(2))) + bytes;
+        // Give noise a valid header so it reaches the record decoder (or,
+        // for packs, the section-table validator).
+        if (rng.chance(0.5)) {
+          bytes = std::string("MUMW") +
+                  std::string(1, static_cast<char>(1 + rng.below(2))) + bytes;
+        } else {
+          bytes = std::string("MUMP") + std::string(1, char{3}) +
+                  std::string(3, char{0}) + bytes;
+        }
       }
     } else {
-      // Mutated valid snapshot, at a random format version.
+      // Mutated valid snapshot, at a random container/format version.
       auto snap = seed_snapshot(rng);
-      bytes = mum::dataset::serialize_snapshot(
-          snap, rng.chance(0.3) ? std::uint8_t{1} : std::uint8_t{2});
+      const bool pack = rng.chance(0.4);
+      bytes = pack ? mum::dataset::serialize_pack(snap)
+                   : mum::dataset::serialize_snapshot(
+                         snap, rng.chance(0.3) ? std::uint8_t{1}
+                                               : std::uint8_t{2});
+      if (pack && rng.chance(0.6)) {
+        bytes = stomp_pack_tables(std::move(bytes), rng);
+      }
       const int rounds = 1 + static_cast<int>(rng.below(3));
       for (int r = 0; r < rounds; ++r) bytes = mutate(std::move(bytes), rng);
     }
