@@ -17,7 +17,7 @@ inline int run_as_series_bench(
     const std::function<void(const lpr::LongitudinalReport&)>& checks) {
   Study study(default_study());
   std::cout << title << "\n(running the 60-cycle study...)\n\n";
-  const lpr::LongitudinalReport report = study.run_all(&std::cout);
+  const lpr::LongitudinalReport report = study.run_all();
   std::cout << '\n';
   print_as_series(std::cout, report, asn);
   std::cout << '\n';

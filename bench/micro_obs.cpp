@@ -1,0 +1,94 @@
+// Telemetry overhead: the two hot-path primitives (sharded counter add,
+// log2 histogram record) in isolation, then the number that matters — a
+// small end-to-end campaign with telemetry fully on (JSONL trace sink
+// installed, registry dumped) vs fully off. scripts/bench.sh records the
+// report in BENCH_PR7.json and gates telemetry-on at <= 3% slower.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "run/runner.h"
+
+namespace {
+
+using namespace mum;
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter counter;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    counter.add(++i % 7);
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    histogram.record(++i * 97);
+  }
+  benchmark::DoNotOptimize(histogram.snapshot().count);
+}
+BENCHMARK(BM_HistogramRecord);
+
+// The campaign pair shares one Runner (the internet build is setup, not
+// the measured work) and the --small CLI shape, two cycles per iteration.
+run::RunnerConfig bench_config() {
+  run::RunnerConfig config;
+  config.gen.background_transit = 8;
+  config.gen.stub_ases = 12;
+  config.gen.monitors = 6;
+  config.gen.dests_per_monitor = 150;
+  config.first_cycle = 50;
+  config.last_cycle = 51;
+  config.threads = 1;
+  return config;
+}
+
+const run::Runner& bench_runner() {
+  static const run::Runner runner(bench_config());
+  return runner;
+}
+
+void BM_CampaignTelemetryOff(benchmark::State& state) {
+  const run::Runner& runner = bench_runner();
+  for (auto _ : state) {
+    const auto outcome = runner.run_all_contained();
+    benchmark::DoNotOptimize(outcome.report.cycles.size());
+  }
+}
+BENCHMARK(BM_CampaignTelemetryOff)->Unit(benchmark::kMillisecond);
+
+// Discards bytes but still exercises the whole serialization path.
+struct NullBuffer : std::streambuf {
+  int overflow(int c) override { return c; }
+};
+
+void BM_CampaignTelemetryOn(benchmark::State& state) {
+  const run::Runner& runner = bench_runner();
+  NullBuffer buffer;
+  std::ostream null_stream(&buffer);
+  obs::TraceLog trace(null_stream);
+  obs::set_trace(&trace);
+  obs::registry().reset();
+  for (auto _ : state) {
+    const auto outcome = runner.run_all_contained();
+    benchmark::DoNotOptimize(outcome.report.cycles.size());
+  }
+  // The --telemetry dump is part of what "telemetry on" costs.
+  const std::string snapshot = obs::registry().to_json();
+  benchmark::DoNotOptimize(snapshot.size());
+  obs::set_trace(nullptr);
+}
+BENCHMARK(BM_CampaignTelemetryOn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

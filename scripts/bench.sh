@@ -8,6 +8,9 @@
 #   2. bench/micro_ingest -> BENCH_PR6.json (warts-lite v2 stream decode vs
 #      v3 pack mmap ingest over a 60-cycle corpus, bytes/s and traces/s;
 #      gated: v3 mmap must ingest at >= 5x the v2 traces/s)
+#   3. bench/micro_obs   -> BENCH_PR7.json (telemetry primitives plus a
+#      small campaign with telemetry fully on — trace sink + registry
+#      dump — vs fully off; gated: on/off wall-clock ratio <= 1.03)
 #
 # The PR4 baselines were measured at commit 72d59fb (before the flat-RIB /
 # one-pass SPF rewrite) on the AT&T case-study shape (74 routers, 217 links,
@@ -25,7 +28,8 @@ build="${1:-$repo/build}"
 filter="${2:-}"
 
 cmake -B "$build" -S "$repo"
-cmake --build "$build" -j --target micro_lpr --target micro_ingest
+cmake --build "$build" -j --target micro_lpr --target micro_ingest \
+  --target micro_obs
 
 args=(
   --benchmark_format=json
@@ -74,4 +78,37 @@ print(
 )
 if ratio < 5.0:
     sys.exit(f"ingest gate FAILED: v3/v2 = {ratio:.2f}x, need >= 5x")
+PY
+
+obs_args=(
+  --benchmark_format=json
+  --benchmark_out="$repo/BENCH_PR7.json"
+  --benchmark_out_format=json
+  --benchmark_min_time=0.5
+)
+if [[ -n "$filter" ]]; then
+  obs_args+=(--benchmark_filter="$filter")
+fi
+
+"$build/bench/micro_obs" "${obs_args[@]}"
+echo "wrote $repo/BENCH_PR7.json"
+
+python3 - "$repo/BENCH_PR7.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+by_name = {b["name"]: b for b in report["benchmarks"]}
+off = by_name.get("BM_CampaignTelemetryOff")
+on = by_name.get("BM_CampaignTelemetryOn")
+if off is None or on is None:
+    print("telemetry gate skipped (benchmarks filtered out)")
+    sys.exit(0)
+ratio = on["real_time"] / off["real_time"]
+print(
+    f"telemetry: campaign off {off['real_time']:.2f} {off['time_unit']}, "
+    f"on {on['real_time']:.2f} {on['time_unit']} -> {ratio:.3f}x"
+)
+if ratio > 1.03:
+    sys.exit(f"telemetry gate FAILED: on/off = {ratio:.3f}x, need <= 1.03x")
 PY

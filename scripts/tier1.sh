@@ -18,11 +18,14 @@ cmake -B "$build" -S "$repo"
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j
 
-echo "== tier-1: TSan pass over test_parallel ($tsan_build) =="
+echo "== tier-1: TSan pass over test_parallel + test_obs ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" -DMUM_TSAN=ON
-# Only the one target — a full TSan tree is slow and adds nothing here.
-cmake --build "$tsan_build" -j --target test_parallel
+# Only these targets — a full TSan tree is slow and adds nothing here.
+# test_obs runs with telemetry sinks installed, so the sharded metric and
+# trace paths get raced for real.
+cmake --build "$tsan_build" -j --target test_parallel --target test_obs
 "$tsan_build/tests/test_parallel"
+"$tsan_build/tests/test_obs"
 
 echo "== tier-1: ASan+UBSan pass over tolerant ingest ($asan_build) =="
 cmake -B "$asan_build" -S "$repo" -DMUM_ASAN=ON

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -95,6 +96,31 @@ std::optional<ChaosConfig> parse_chaos_spec(std::string_view spec,
     }
   }
   return config;
+}
+
+void publish(const ChaosStats& stats) {
+  if (stats.total() == 0) return;
+  obs::Registry& r = obs::registry();
+  static obs::Counter& stacks = r.counter("chaos.injected.stacks_truncated");
+  static obs::Counter& exts = r.counter("chaos.injected.extensions_dropped");
+  static obs::Counter& dups = r.counter("chaos.injected.hops_duplicated");
+  static obs::Counter& reorders =
+      r.counter("chaos.injected.hops_reordered");
+  static obs::Counter& asns = r.counter("chaos.injected.asns_scrambled");
+  static obs::Counter& blackouts =
+      r.counter("chaos.injected.monitors_blacked_out");
+  static obs::Counter& dropped = r.counter("chaos.injected.traces_dropped");
+  static obs::Counter& flips = r.counter("chaos.injected.bytes_flipped");
+  static obs::Counter& failures = r.counter("chaos.injected.cycles_failed");
+  stacks.add(stats.stacks_truncated);
+  exts.add(stats.extensions_dropped);
+  dups.add(stats.hops_duplicated);
+  reorders.add(stats.hops_reordered);
+  asns.add(stats.asns_scrambled);
+  blackouts.add(stats.monitors_blacked_out);
+  dropped.add(stats.traces_dropped);
+  flips.add(stats.bytes_flipped);
+  failures.add(stats.cycles_failed);
 }
 
 ChaosStats& ChaosStats::merge(const ChaosStats& other) noexcept {

@@ -82,6 +82,11 @@ struct ChaosStats {
   ChaosStats& merge(const ChaosStats& other) noexcept;
 };
 
+// Mirror a batch of injected-fault counts into the telemetry registry
+// ("chaos.injected.<kind>" counters). The runner publishes each cycle's
+// Corruptor stats once, right after recording them in the manifest.
+void publish(const ChaosStats& stats);
+
 // Thrown by injected execution faults so containment code can tell chaos
 // from genuine logic errors in test assertions.
 class ChaosError : public std::runtime_error {

@@ -3,11 +3,42 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace mum::lpr {
 
 namespace {
+
+// Classification telemetry: one batch of updates per classify_all call
+// (the per-record loop stays untouched). Class tallies feed the registry
+// snapshot's traces/s-style rates; the values mirror the returned
+// ClassCounts, so publishing them never alters a report byte.
+void publish_classify(const ClassCounts& counts, std::size_t records,
+                      std::uint64_t dur_ns) {
+  obs::Registry& r = obs::registry();
+  static obs::Counter& runs = r.counter("classify.runs");
+  static obs::Counter& iotps = r.counter("classify.iotps");
+  static obs::Counter& mono_lsp = r.counter("classify.class.mono_lsp");
+  static obs::Counter& multi_fec = r.counter("classify.class.multi_fec");
+  static obs::Counter& mono_fec = r.counter("classify.class.mono_fec");
+  static obs::Counter& unclassified =
+      r.counter("classify.class.unclassified");
+  static obs::Counter& parallel_links =
+      r.counter("classify.class.parallel_links");
+  static obs::Counter& routers_disjoint =
+      r.counter("classify.class.routers_disjoint");
+  static obs::Histogram& duration = r.histogram("classify.ns");
+  runs.inc();
+  iotps.add(records);
+  mono_lsp.add(counts.mono_lsp);
+  multi_fec.add(counts.multi_fec);
+  mono_fec.add(counts.mono_fec);
+  unclassified.add(counts.unclassified);
+  parallel_links.add(counts.parallel_links);
+  routers_disjoint.add(counts.routers_disjoint);
+  duration.record(dur_ns);
+}
 
 // Metrics of Sec. 4.3, computed over the branch set.
 void fill_metrics(IotpRecord& rec) {
@@ -169,25 +200,28 @@ ClassCounts classify_all(std::vector<IotpRecord>& records,
 ClassCounts classify_all(std::vector<IotpRecord>& records,
                          const ClassifyConfig& config,
                          util::ThreadPool* pool) {
-  if (pool == nullptr || pool->size() <= 1 || records.size() < 2) {
-    return classify_all(records, config);
-  }
-  // Fixed shards, one partial ClassCounts each, merged in shard order.
-  const std::size_t shards =
-      std::min<std::size_t>(records.size(),
-                            static_cast<std::size_t>(pool->size()) * 4);
-  const std::size_t per = (records.size() + shards - 1) / shards;
-  std::vector<ClassCounts> partial(shards);
-  pool->for_each_index(shards, [&](std::size_t s) {
-    const std::size_t begin = s * per;
-    const std::size_t end = std::min(records.size(), begin + per);
-    for (std::size_t i = begin; i < end; ++i) {
-      classify_iotp(records[i], config);
-      partial[s].add(records[i]);
-    }
-  });
+  const std::uint64_t t0 = obs::monotonic_ns();
   ClassCounts counts;
-  for (const ClassCounts& p : partial) counts.merge(p);
+  if (pool == nullptr || pool->size() <= 1 || records.size() < 2) {
+    counts = classify_all(records, config);
+  } else {
+    // Fixed shards, one partial ClassCounts each, merged in shard order.
+    const std::size_t shards =
+        std::min<std::size_t>(records.size(),
+                              static_cast<std::size_t>(pool->size()) * 4);
+    const std::size_t per = (records.size() + shards - 1) / shards;
+    std::vector<ClassCounts> partial(shards);
+    pool->for_each_index(shards, [&](std::size_t s) {
+      const std::size_t begin = s * per;
+      const std::size_t end = std::min(records.size(), begin + per);
+      for (std::size_t i = begin; i < end; ++i) {
+        classify_iotp(records[i], config);
+        partial[s].add(records[i]);
+      }
+    });
+    for (const ClassCounts& p : partial) counts.merge(p);
+  }
+  publish_classify(counts, records.size(), obs::monotonic_ns() - t0);
   return counts;
 }
 

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "obs/telemetry.h"
 #include "util/table.h"
 
 namespace mum::lpr {
@@ -78,6 +79,14 @@ CycleReport run_pipeline(const ExtractedSnapshot& cycle,
                          const std::vector<ExtractedSnapshot>& following,
                          const PipelineConfig& config,
                          util::ThreadPool* pool) {
+  static obs::Counter& pipeline_runs =
+      obs::registry().counter("lpr.pipeline_runs");
+  static obs::Counter& traces = obs::registry().counter("lpr.traces");
+  static obs::Counter& lsps = obs::registry().counter("lpr.lsps_observed");
+  pipeline_runs.inc();
+  traces.add(cycle.stats.traces_total);
+  lsps.add(cycle.stats.lsps_observed);
+
   CycleReport report;
   report.cycle_id = cycle.cycle_id;
   report.date = cycle.date;

@@ -6,20 +6,76 @@
 
 #include "dataset/pack.h"
 #include "dataset/warts_lite.h"
+#include "obs/telemetry.h"
 #include "util/mmap_file.h"
 #include "util/thread_pool.h"
 
 namespace mum::dataset {
 
+namespace {
+
+// Ingest telemetry: one update batch per container decoded (never per
+// record). Fault counters mirror the FaultClass taxonomy one-to-one.
+struct IngestMetrics {
+  obs::Counter& bytes;
+  obs::Counter& snapshots;
+  obs::Counter& snapshots_rejected;  // container-level nullopt
+  obs::Counter& records_decoded;
+  obs::Counter& records_skipped;
+  std::array<obs::Counter*, kFaultClassCount> faults;
+
+  static IngestMetrics& get() {
+    static IngestMetrics m = [] {
+      obs::Registry& r = obs::registry();
+      IngestMetrics out{r.counter("ingest.bytes"),
+                        r.counter("ingest.snapshots"),
+                        r.counter("ingest.snapshots_rejected"),
+                        r.counter("ingest.records_decoded"),
+                        r.counter("ingest.records_skipped"),
+                        {}};
+      for (std::size_t f = 0; f < kFaultClassCount; ++f) {
+        out.faults[f] = &r.counter(
+            std::string("ingest.fault.") +
+            to_cstring(static_cast<FaultClass>(f)));
+      }
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 std::optional<Snapshot> decode_snapshot(std::string_view bytes,
                                         const DecodeOptions& options,
                                         DecodeDiagnostics* diagnostics) {
+  DecodeDiagnostics local;
+  DecodeDiagnostics* diag = diagnostics != nullptr ? diagnostics : &local;
+  // Callers may hand in a pre-populated accumulator; meter the delta.
+  const auto counts_before = diag->counts;
+  const std::uint64_t decoded_before = diag->records_decoded;
+  const std::uint64_t skipped_before = diag->records_skipped;
+
+  std::optional<Snapshot> snap;
   if (bytes.size() >= sizeof kPackMagic &&
       bytes.compare(0, sizeof kPackMagic, kPackMagic, sizeof kPackMagic) ==
           0) {
-    return parse_pack(bytes, options, diagnostics);
+    snap = parse_pack(bytes, options, diag);
+  } else {
+    snap = parse_snapshot_v2(bytes, options, diag);
   }
-  return parse_snapshot_v2(bytes, options, diagnostics);
+
+  IngestMetrics& m = IngestMetrics::get();
+  m.bytes.add(bytes.size());
+  m.snapshots.inc();
+  if (!snap) m.snapshots_rejected.inc();
+  m.records_decoded.add(diag->records_decoded - decoded_before);
+  m.records_skipped.add(diag->records_skipped - skipped_before);
+  for (std::size_t f = 0; f < kFaultClassCount; ++f) {
+    const std::uint64_t delta = diag->counts[f] - counts_before[f];
+    if (delta != 0) m.faults[f]->add(delta);
+  }
+  return snap;
 }
 
 // --- legacy entry points (warts_lite.h) --------------------------------

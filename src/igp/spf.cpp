@@ -4,6 +4,8 @@
 #include <bit>
 #include <queue>
 
+#include "obs/stage.h"
+#include "obs/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace mum::igp {
@@ -304,12 +306,26 @@ IgpState IgpState::assemble(std::size_t n, std::vector<SourceRow>& fresh,
 IgpState IgpState::compute(const topo::AsTopology& topo,
                            const std::vector<bool>* link_down,
                            util::ThreadPool* pool) {
+  // Call-site wall clock: nested per-source parallelism joins before the
+  // span ends, so the duration covers the whole computation. The stage
+  // span attributes it as SPF work of whichever cycle is current (no-op
+  // during the initial internet build, which runs outside any cycle).
+  const obs::StageSpan span(obs::Stage::kSpf);
+  static obs::Counter& sources =
+      obs::registry().counter("igp.spf_sources_computed");
+  static obs::Counter& computes = obs::registry().counter("igp.computes");
+  static obs::Histogram& duration =
+      obs::registry().histogram("igp.compute_ns");
+  const obs::ScopedTimer timer(duration);
+
   const topo::CsrAdjacency csr = topo.make_csr();
   const std::size_t n = csr.router_count();
   std::vector<SourceRow> rows(n);
   util::parallel_for(pool, n, [&](std::size_t s) {
     rows[s] = spf_source(csr, static_cast<topo::RouterId>(s), link_down);
   });
+  computes.inc();
+  sources.add(n);
   return assemble(n, rows, nullptr, nullptr);
 }
 
@@ -318,6 +334,17 @@ IgpState IgpState::reconverge(const topo::AsTopology& topo,
                               const std::vector<bool>& link_down,
                               util::ThreadPool* pool,
                               ReconvergeStats* stats) {
+  const obs::StageSpan span(obs::Stage::kSpf);
+  static obs::Counter& recomputed =
+      obs::registry().counter("igp.reconverge_sources_recomputed");
+  static obs::Counter& skipped =
+      obs::registry().counter("igp.reconverge_sources_skipped");
+  static obs::Counter& reconverges =
+      obs::registry().counter("igp.reconverges");
+  static obs::Histogram& duration =
+      obs::registry().histogram("igp.reconverge_ns");
+  const obs::ScopedTimer timer(duration);
+
   const std::size_t n = baseline.n_;
   struct Down {
     topo::RouterId a, b;
@@ -351,6 +378,9 @@ IgpState IgpState::reconverge(const topo::AsTopology& topo,
     stats->sources_total = n;
     stats->sources_recomputed = n_affected;
   }
+  reconverges.inc();
+  recomputed.add(n_affected);
+  skipped.add(n - n_affected);
 
   std::vector<SourceRow> rows(n);
   if (n_affected > 0) {

@@ -1,0 +1,46 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace mum::obs {
+
+namespace {
+
+std::atomic<std::uint8_t> g_level{
+    static_cast<std::uint8_t>(LogLevel::kInfo)};
+std::mutex g_mutex;
+std::ostream* g_sink = &std::cerr;  // guarded by g_mutex
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<std::uint8_t>(level),
+                std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(std::ostream* os) noexcept {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = os;
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return level != LogLevel::kSilent &&
+         static_cast<std::uint8_t>(level) <=
+             g_level.load(std::memory_order_relaxed);
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (!log_enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink == nullptr) return;
+  *g_sink << message << '\n';
+  g_sink->flush();
+}
+
+}  // namespace mum::obs

@@ -1,0 +1,48 @@
+// Leveled progress/diagnostic logging for the engine and CLI.
+//
+// Replaces the ad-hoc `std::cerr <<` progress lines the runner used to
+// emit: log output goes to a single configurable sink (stderr by default),
+// never to stdout — machine-parsed report output stays unpolluted. The CLI
+// maps --quiet to kSilent and --verbose to kDebug; the default level is
+// kInfo (sparse progress + run summaries).
+//
+// Thread-safe: one mutex serializes writes; the level check is a relaxed
+// atomic load so disabled levels cost one load and a branch. The log is
+// operational output only — nothing in the science pipeline reads it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace mum::obs {
+
+enum class LogLevel : std::uint8_t {
+  kSilent = 0,  // nothing (CLI --quiet)
+  kInfo = 1,    // sparse progress + summaries (default)
+  kDebug = 2,   // per-cycle detail (CLI --verbose)
+};
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+// Redirect the sink (null silences regardless of level). The default is
+// std::cerr. The caller keeps the stream alive while installed.
+void set_log_sink(std::ostream* os) noexcept;
+
+// Would a message at `level` currently be written? Callers use this to
+// skip building expensive message strings.
+bool log_enabled(LogLevel level) noexcept;
+
+// Write one line (a '\n' is appended, the sink is flushed so progress is
+// timely under redirection).
+void log(LogLevel level, std::string_view message);
+
+inline void log_info(std::string_view message) {
+  log(LogLevel::kInfo, message);
+}
+inline void log_debug(std::string_view message) {
+  log(LogLevel::kDebug, message);
+}
+
+}  // namespace mum::obs

@@ -1,0 +1,60 @@
+#include "obs/stage.h"
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace mum::obs {
+
+namespace {
+
+thread_local StageTimings* t_current = nullptr;
+
+Histogram& stage_histogram(Stage s) {
+  static Histogram* const table[kStageCount] = {
+      &registry().histogram("run.stage.generate_ns"),
+      &registry().histogram("run.stage.ingest_ns"),
+      &registry().histogram("run.stage.spf_ns"),
+      &registry().histogram("run.stage.classify_ns"),
+      &registry().histogram("run.stage.report_ns"),
+  };
+  return *table[static_cast<std::size_t>(s)];
+}
+
+}  // namespace
+
+const char* to_cstring(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kGenerate: return "generate";
+    case Stage::kIngest: return "ingest";
+    case Stage::kSpf: return "spf";
+    case Stage::kClassify: return "classify";
+    case Stage::kReport: return "report";
+  }
+  return "unknown";
+}
+
+void add_stage_ns(Stage s, std::uint64_t dur) noexcept {
+  if (t_current != nullptr) {
+    t_current->ns[static_cast<std::size_t>(s)] += dur;
+  }
+}
+
+StageScope::StageScope(StageTimings* timings) noexcept : prev_(t_current) {
+  t_current = timings;
+}
+
+StageScope::~StageScope() { t_current = prev_; }
+
+StageSpan::StageSpan(Stage stage, int cycle) noexcept
+    : stage_(stage), cycle_(cycle), t0_(monotonic_ns()) {}
+
+StageSpan::~StageSpan() {
+  const std::uint64_t dur = monotonic_ns() - t0_;
+  add_stage_ns(stage_, dur);
+  stage_histogram(stage_).record(dur);
+  if (TraceLog* log = trace()) {
+    log->span(to_cstring(stage_), cycle_, t0_, dur);
+  }
+}
+
+}  // namespace mum::obs

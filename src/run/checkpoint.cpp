@@ -7,7 +7,8 @@
 
 #include "dataset/pack.h"
 #include "dataset/warts_lite.h"  // varint helpers + stream serializer
-#include "util/rng.h"            // fnv1a
+#include "obs/telemetry.h"
+#include "util/rng.h"  // fnv1a
 
 namespace mum::run {
 
@@ -388,6 +389,10 @@ std::string checkpoint_filename(int cycle) {
 
 bool write_checkpoint_file(const std::string& dir, int cycle,
                            const lpr::CycleReport& report) {
+  static obs::Counter& reports_written =
+      obs::registry().counter("checkpoint.reports_written");
+  static obs::Counter& bytes_written =
+      obs::registry().counter("checkpoint.bytes_written");
   std::error_code ec;
   fs::create_directories(dir, ec);
   const fs::path final_path = fs::path(dir) / checkpoint_filename(cycle);
@@ -399,23 +404,31 @@ bool write_checkpoint_file(const std::string& dir, int cycle,
     const std::string bytes = serialize_cycle_report(report);
     os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     if (!os.flush()) return false;
+    bytes_written.add(bytes.size());
   }
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
     fs::remove(tmp_path, ec);
     return false;
   }
+  reports_written.inc();
   return true;
 }
 
 std::optional<lpr::CycleReport> load_checkpoint_file(const std::string& dir,
                                                      int cycle) {
+  static obs::Counter& reports_loaded =
+      obs::registry().counter("checkpoint.reports_loaded");
+  static obs::Counter& load_failures =
+      obs::registry().counter("checkpoint.load_failures");
   std::ifstream is(fs::path(dir) / checkpoint_filename(cycle),
                    std::ios::binary);
-  if (!is) return std::nullopt;
+  if (!is) return std::nullopt;  // absent, not corrupt: no failure counted
   std::ostringstream buffer;
   buffer << is.rdbuf();
-  return parse_cycle_report(buffer.str());
+  auto report = parse_cycle_report(buffer.str());
+  (report ? reports_loaded : load_failures).inc();
+  return report;
 }
 
 std::string data_shard_filename(int cycle, std::size_t sub,
@@ -429,6 +442,10 @@ bool write_data_shard(const std::string& dir, int cycle, std::size_t sub,
                       std::uint8_t format) {
   std::error_code ec;
   fs::create_directories(dir, ec);
+  static obs::Counter& shards_written =
+      obs::registry().counter("checkpoint.shards_written");
+  static obs::Counter& bytes_written =
+      obs::registry().counter("checkpoint.bytes_written");
   const std::string name = data_shard_filename(cycle, sub, format);
   const fs::path final_path = fs::path(dir) / name;
   const fs::path tmp_path = fs::path(dir) / (name + ".tmp");
@@ -440,12 +457,14 @@ bool write_data_shard(const std::string& dir, int cycle, std::size_t sub,
                                   : dataset::serialize_snapshot(snapshot);
     os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     if (!os.flush()) return false;
+    bytes_written.add(bytes.size());
   }
   fs::rename(tmp_path, final_path, ec);
   if (ec) {
     fs::remove(tmp_path, ec);
     return false;
   }
+  shards_written.inc();
   return true;
 }
 

@@ -54,6 +54,8 @@ std::string RunManifest::to_json() const {
   json.field("first_cycle", first_cycle + 1);  // 1-based, as the paper counts
   json.field("last_cycle", last_cycle + 1);
   json.field("threads", static_cast<std::uint64_t>(threads));
+  json.field("wall_ns", wall_ns);
+  json.field("peak_rss_bytes", peak_rss_bytes);
   json.field("complete", complete());
   json.field("failure_budget_exceeded", failure_budget_exceeded);
   json.field("ok", static_cast<std::uint64_t>(count(CycleOutcome::kOk)));
@@ -73,6 +75,17 @@ std::string RunManifest::to_json() const {
     json.begin_object();
     json.field("cycle", status.cycle + 1);
     json.field("outcome", to_cstring(status.outcome));
+    json.field("duration_ns", status.duration_ns);
+    if (status.stages.total() > 0) {
+      json.key("stages");
+      json.begin_object();
+      for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+        json.field(std::string(to_cstring(static_cast<obs::Stage>(s))) +
+                       "_ns",
+                   status.stages.ns[s]);
+      }
+      json.end_object();
+    }
     if (!status.error.empty()) json.field("error", status.error);
     if (status.chaos.total() > 0) {
       json.key("chaos");

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "chaos/chaos.h"
+#include "obs/stage.h"
 
 namespace mum::run {
 
@@ -29,8 +30,13 @@ const char* to_cstring(CycleOutcome outcome) noexcept;
 struct CycleStatus {
   int cycle = 0;
   CycleOutcome outcome = CycleOutcome::kOk;
-  std::string error;         // what() of the failure, empty otherwise
-  chaos::ChaosStats chaos;   // faults injected into this cycle's data
+  std::string error;        // what() of the failure, empty otherwise
+  chaos::ChaosStats chaos;  // faults injected into this cycle's data
+  // Operational timing, never an input to the science: wall-clock of the
+  // whole cycle and its per-stage breakdown. Stages overlap (SPF runs
+  // inside generation), so stages.total() does not equal duration_ns.
+  std::uint64_t duration_ns = 0;
+  obs::StageTimings stages;
 };
 
 struct RunManifest {
@@ -39,6 +45,10 @@ struct RunManifest {
   unsigned threads = 1;
   std::vector<CycleStatus> cycles;  // one per cycle, in cycle order
   bool failure_budget_exceeded = false;
+  // End-of-run operational record: total wall-clock of the contained run
+  // and the process's peak resident set when it finished.
+  std::uint64_t wall_ns = 0;
+  std::uint64_t peak_rss_bytes = 0;
 
   std::size_t count(CycleOutcome outcome) const noexcept;
   // All cycles either computed or restored: the report is trustworthy

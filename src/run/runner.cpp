@@ -1,12 +1,14 @@
 #include "run/runner.h"
 
 #include <atomic>
-#include <mutex>
-#include <ostream>
 
 #include "dataset/pack.h"
 #include "dataset/snapshot_source.h"
 #include "dataset/warts_lite.h"
+#include "obs/log.h"
+#include "obs/stage.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "run/checkpoint.h"
 #include "util/rng.h"
 
@@ -19,6 +21,19 @@ std::unique_ptr<util::ThreadPool> make_pool(int threads_config) {
       threads_config <= 0 ? util::hardware_threads()
                           : static_cast<unsigned>(threads_config);
   return threads > 1 ? std::make_unique<util::ThreadPool>(threads) : nullptr;
+}
+
+// One progress line per year at info, every cycle at debug — the strings
+// only materialize when the level is enabled.
+void log_cycle_progress(int cycle, const char* outcome) {
+  const bool yearly = (cycle + 1) % 12 == 0;
+  const obs::LogLevel level =
+      yearly ? obs::LogLevel::kInfo : obs::LogLevel::kDebug;
+  if (!obs::log_enabled(level)) return;
+  std::string line = "  ... processed cycle " + std::to_string(cycle + 1) +
+                     " (" + gen::cycle_date(cycle) + ")";
+  if (outcome != nullptr) line += std::string(" [") + outcome + "]";
+  obs::log(level, line);
 }
 
 }  // namespace
@@ -57,8 +72,14 @@ lpr::CycleReport Runner::run_cycle(int cycle) const {
 dataset::MonthData Runner::prepare_month(
     int cycle, chaos::Corruptor* corruptor,
     dataset::DecodeDiagnostics* decode) const {
-  dataset::MonthData month = month_data(cycle);
+  dataset::MonthData month = [&] {
+    const obs::StageSpan span(obs::Stage::kGenerate, cycle);
+    return month_data(cycle);
+  }();
   if (corruptor != nullptr) {
+    // Chaos wire round-trips run the real ingest path — that time is
+    // ingest, not generation.
+    const obs::StageSpan span(obs::Stage::kIngest, cycle);
     for (std::size_t sub = 0; sub < month.snapshots.size(); ++sub) {
       dataset::Snapshot& snapshot = month.snapshots[sub];
       if (corruptor->config().flip_byte > 0) {
@@ -100,6 +121,7 @@ lpr::CycleReport Runner::run_cycle_chaos(int cycle,
                                          chaos::Corruptor* corruptor) const {
   dataset::DecodeDiagnostics decode;
   const dataset::MonthData month = prepare_month(cycle, corruptor, &decode);
+  const obs::StageSpan span(obs::Stage::kClassify, cycle);
   lpr::CycleReport report =
       lpr::run_pipeline(month, ip2as_, config_.pipeline, pool_.get());
   report.decode = std::move(decode);
@@ -116,19 +138,23 @@ std::optional<lpr::CycleReport> Runner::run_cycle_from_data(int cycle) const {
   dataset::MonthData month;
   month.cycle_id = static_cast<std::uint32_t>(cycle);
   month.date = gen::cycle_date(cycle);
-  while (auto snapshot = source->next()) {
-    // Annotations are not persisted in either container format.
-    ip2as_.annotate(snapshot->traces);
-    month.snapshots.push_back(std::move(*snapshot));
+  {
+    const obs::StageSpan span(obs::Stage::kIngest, cycle);
+    while (auto snapshot = source->next()) {
+      // Annotations are not persisted in either container format.
+      ip2as_.annotate(snapshot->traces);
+      month.snapshots.push_back(std::move(*snapshot));
+    }
   }
   if (source->failed() || month.snapshots.empty()) return std::nullopt;
+  const obs::StageSpan span(obs::Stage::kClassify, cycle);
   lpr::CycleReport report =
       lpr::run_pipeline(month, ip2as_, config_.pipeline, pool_.get());
   report.decode = source->diagnostics();
   return report;
 }
 
-lpr::LongitudinalReport Runner::run_all(std::ostream* progress) const {
+lpr::LongitudinalReport Runner::run_all() const {
   const int first = config_.first_cycle;
   const int last = config_.last_cycle;
   const std::size_t n =
@@ -136,23 +162,23 @@ lpr::LongitudinalReport Runner::run_all(std::ostream* progress) const {
 
   lpr::LongitudinalReport report;
   report.cycles.resize(n);
-  std::mutex progress_mutex;
   // Each cycle fills its own slot; inner generation/classification runs
   // inline on the worker (nested parallel_for detects the region), so the
   // pool is never oversubscribed.
   util::parallel_for(pool_.get(), n, [&](std::size_t i) {
     const int cycle = first + static_cast<int>(i);
+    const std::uint64_t t0 = obs::monotonic_ns();
     report.cycles[i] = run_cycle(cycle);
-    if (progress != nullptr && (cycle + 1) % 12 == 0) {
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      *progress << "  ... processed cycle " << cycle + 1 << " ("
-                << gen::cycle_date(cycle) << ")\n";
+    if (obs::TraceLog* t = obs::trace()) {
+      t->span("cycle", cycle, t0, obs::monotonic_ns() - t0);
     }
+    log_cycle_progress(cycle, nullptr);
   });
   return report;
 }
 
-RunOutcome Runner::run_all_contained(std::ostream* progress) const {
+RunOutcome Runner::run_all_contained() const {
+  const std::uint64_t run_t0 = obs::monotonic_ns();
   const int first = config_.first_cycle;
   const int last = config_.last_cycle;
   const std::size_t n =
@@ -172,7 +198,6 @@ RunOutcome Runner::run_all_contained(std::ostream* progress) const {
   std::atomic<bool> abort{false};
   std::atomic<bool> budget_exceeded{false};
   std::atomic<int> failures{0};
-  std::mutex progress_mutex;
 
   util::parallel_for(pool_.get(), n, [&](std::size_t i) {
     const int cycle = first + static_cast<int>(i);
@@ -184,86 +209,114 @@ RunOutcome Runner::run_all_contained(std::ostream* progress) const {
     slot.cycle_id = static_cast<std::uint32_t>(cycle);
     slot.date = gen::cycle_date(cycle);
 
-    if (abort.load(std::memory_order_acquire)) {
-      status.outcome = CycleOutcome::kSkipped;
-      return;
-    }
-
-    if (config_.resume && checkpoints) {
-      if (auto restored =
-              load_checkpoint_file(config_.checkpoint_dir, cycle)) {
-        slot = std::move(*restored);
-        status.outcome = CycleOutcome::kFromCheckpoint;
+    // The cycle's whole body runs inline on this worker (nested parallel
+    // regions detect they're in-pool), so a scoped thread-local accumulator
+    // attributes every inner stage to this cycle at any thread count.
+    const std::uint64_t cycle_t0 = obs::monotonic_ns();
+    const auto process = [&] {
+      if (abort.load(std::memory_order_acquire)) {
+        status.outcome = CycleOutcome::kSkipped;
         return;
       }
-      // No (or stale) report checkpoint: a cycle with persisted data shards
-      // re-ingests them — cheaper than regenerating, and identical for
-      // clean runs. Failing that, recompute below.
-      if (config_.checkpoint_data) {
-        if (auto from_data = run_cycle_from_data(cycle)) {
-          slot = std::move(*from_data);
-          status.outcome = CycleOutcome::kFromData;
-          write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
+
+      if (config_.resume && checkpoints) {
+        if (auto restored =
+                load_checkpoint_file(config_.checkpoint_dir, cycle)) {
+          slot = std::move(*restored);
+          status.outcome = CycleOutcome::kFromCheckpoint;
           return;
         }
-      }
-    }
-
-    chaos::Corruptor corruptor(config_.chaos);
-    try {
-      if (corruptor.should_fail_cycle(cycle)) {
-        throw chaos::ChaosError("injected failure in cycle " +
-                                std::to_string(cycle + 1));
-      }
-      if (checkpoints && config_.checkpoint_data) {
-        // Keep the month in hand so its snapshots can be persisted; the
-        // shards carry the post-chaos data (what the pipeline actually saw).
-        dataset::DecodeDiagnostics decode;
-        const dataset::MonthData month =
-            prepare_month(cycle, data_chaos ? &corruptor : nullptr, &decode);
-        for (std::size_t sub = 0; sub < month.snapshots.size(); ++sub) {
-          write_data_shard(config_.checkpoint_dir, cycle, sub,
-                           month.snapshots[sub], config_.snapshot_format);
+        // No (or stale) report checkpoint: a cycle with persisted data
+        // shards re-ingests them — cheaper than regenerating, and identical
+        // for clean runs. Failing that, recompute below.
+        if (config_.checkpoint_data) {
+          if (auto from_data = run_cycle_from_data(cycle)) {
+            slot = std::move(*from_data);
+            status.outcome = CycleOutcome::kFromData;
+            const obs::StageSpan span(obs::Stage::kReport, cycle);
+            write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
+            return;
+          }
         }
-        slot = lpr::run_pipeline(month, ip2as_, config_.pipeline,
-                                 pool_.get());
-        slot.decode = std::move(decode);
-      } else {
-        slot = run_cycle_chaos(cycle, data_chaos ? &corruptor : nullptr);
       }
-      status.outcome = CycleOutcome::kOk;
-      if (checkpoints) {
-        write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
+
+      chaos::Corruptor corruptor(config_.chaos);
+      try {
+        if (corruptor.should_fail_cycle(cycle)) {
+          throw chaos::ChaosError("injected failure in cycle " +
+                                  std::to_string(cycle + 1));
+        }
+        if (checkpoints && config_.checkpoint_data) {
+          // Keep the month in hand so its snapshots can be persisted; the
+          // shards carry the post-chaos data (what the pipeline saw).
+          dataset::DecodeDiagnostics decode;
+          const dataset::MonthData month = prepare_month(
+              cycle, data_chaos ? &corruptor : nullptr, &decode);
+          {
+            const obs::StageSpan span(obs::Stage::kReport, cycle);
+            for (std::size_t sub = 0; sub < month.snapshots.size(); ++sub) {
+              write_data_shard(config_.checkpoint_dir, cycle, sub,
+                               month.snapshots[sub], config_.snapshot_format);
+            }
+          }
+          {
+            const obs::StageSpan span(obs::Stage::kClassify, cycle);
+            slot = lpr::run_pipeline(month, ip2as_, config_.pipeline,
+                                     pool_.get());
+          }
+          slot.decode = std::move(decode);
+        } else {
+          slot = run_cycle_chaos(cycle, data_chaos ? &corruptor : nullptr);
+        }
+        status.outcome = CycleOutcome::kOk;
+        if (checkpoints) {
+          const obs::StageSpan span(obs::Stage::kReport, cycle);
+          write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
+        }
+      } catch (const std::exception& e) {
+        status.outcome = CycleOutcome::kFailed;
+        status.error = e.what();
+        // Reset any partial state the worker produced before throwing.
+        slot = lpr::CycleReport{};
+        slot.cycle_id = static_cast<std::uint32_t>(cycle);
+        slot.date = gen::cycle_date(cycle);
+        const int failed =
+            failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+        const bool over_budget =
+            config_.failure_budget >= 0 && failed > config_.failure_budget;
+        if (over_budget) {
+          budget_exceeded.store(true, std::memory_order_release);
+        }
+        if (!config_.keep_going || over_budget) {
+          abort.store(true, std::memory_order_release);
+        }
       }
-    } catch (const std::exception& e) {
-      status.outcome = CycleOutcome::kFailed;
-      status.error = e.what();
-      // Reset any partial state the worker produced before throwing.
-      slot = lpr::CycleReport{};
-      slot.cycle_id = static_cast<std::uint32_t>(cycle);
-      slot.date = gen::cycle_date(cycle);
-      const int failed =
-          failures.fetch_add(1, std::memory_order_acq_rel) + 1;
-      const bool over_budget =
-          config_.failure_budget >= 0 && failed > config_.failure_budget;
-      if (over_budget) {
-        budget_exceeded.store(true, std::memory_order_release);
-      }
-      if (!config_.keep_going || over_budget) {
-        abort.store(true, std::memory_order_release);
+      status.chaos = corruptor.stats();
+    };
+    {
+      const obs::StageScope scope(&status.stages);
+      process();
+    }
+    status.duration_ns = obs::monotonic_ns() - cycle_t0;
+    chaos::publish(status.chaos);
+
+    if (obs::TraceLog* t = obs::trace()) {
+      t->span("cycle", cycle, cycle_t0, status.duration_ns);
+      if (status.outcome == CycleOutcome::kFailed) {
+        t->mark("cycle_failed", cycle, status.error);
+      } else if (status.outcome == CycleOutcome::kSkipped) {
+        t->mark("cycle_skipped", cycle);
       }
     }
-    status.chaos = corruptor.stats();
-
-    if (progress != nullptr && (cycle + 1) % 12 == 0) {
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      *progress << "  ... processed cycle " << cycle + 1 << " ("
-                << gen::cycle_date(cycle) << ")\n";
+    if (status.outcome != CycleOutcome::kSkipped) {
+      log_cycle_progress(cycle, to_cstring(status.outcome));
     }
   });
 
   out.manifest.failure_budget_exceeded =
       budget_exceeded.load(std::memory_order_acquire);
+  out.manifest.wall_ns = obs::monotonic_ns() - run_t0;
+  out.manifest.peak_rss_bytes = obs::peak_rss_bytes();
   return out;
 }
 

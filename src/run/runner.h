@@ -14,7 +14,6 @@
 // right unless the machine is shared.
 #pragma once
 
-#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -98,10 +97,11 @@ class Runner {
   dataset::MonthData month_data(int cycle) const;
 
   // Run the whole configured cycle range; cycles execute in parallel when
-  // threads > 1 and merge in cycle order. Progress lines (one per 12 cycles)
-  // may interleave differently across thread counts; reports never do.
+  // threads > 1 and merge in cycle order. Progress goes through obs::log
+  // (one info line per 12 cycles, per-cycle at debug); line interleaving
+  // may differ across thread counts, reports never do.
   // A worker exception propagates — use run_all_contained to survive it.
-  lpr::LongitudinalReport run_all(std::ostream* progress = nullptr) const;
+  lpr::LongitudinalReport run_all() const;
 
   // Containment variant: chaos injection, per-cycle error containment with
   // the configured failure policy, checkpoints and resume. A failed cycle
@@ -109,7 +109,10 @@ class Runner {
   // so the final report stays byte-identical across thread counts whenever
   // the set of attempted cycles is deterministic (always true under
   // keep-going within budget, and for chaos-injected failures).
-  RunOutcome run_all_contained(std::ostream* progress = nullptr) const;
+  // The manifest additionally records per-cycle wall-clock and stage
+  // timings, total wall-clock and peak RSS — observed state only; nothing
+  // in the report depends on it.
+  RunOutcome run_all_contained() const;
 
  private:
   gen::CampaignConfig campaign_for(int cycle) const;

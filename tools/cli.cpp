@@ -2,7 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
-#include <ostream>
+#include <iostream>
 #include <sstream>
 
 #include "chaos/chaos.h"
@@ -14,6 +14,9 @@
 #include "dataset/warts_lite.h"
 #include "gen/campaign.h"
 #include "gen/internet.h"
+#include "obs/log.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "run/runner.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -58,6 +61,25 @@ bool Args::take_flag(const std::string& name) {
     }
   }
   return false;
+}
+
+std::optional<std::optional<std::string>> Args::take_eq_flag(
+    const std::string& name) {
+  const std::string prefix = name + "=";
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (consumed_[i]) continue;
+    if (tokens_[i] == name) {
+      consumed_[i] = true;
+      return std::optional<std::string>{};  // bare flag, no value
+    }
+    if (util::starts_with(tokens_[i], prefix)) {
+      consumed_[i] = true;
+      std::string value = tokens_[i].substr(prefix.size());
+      if (value.empty()) return std::optional<std::string>{};
+      return std::optional<std::string>(std::move(value));
+    }
+  }
+  return std::nullopt;
 }
 
 long Args::take_int(const std::string& name, long def) {
@@ -207,6 +229,37 @@ util::ThreadPool make_pool(Args& args) {
   return util::ThreadPool(threads <= 0 ? 0
                                        : static_cast<unsigned>(threads));
 }
+
+// Route the engine's obs::log output into this invocation's err stream at
+// the requested level; restore the process defaults on scope exit (tests
+// call cli::run repeatedly against short-lived ostringstreams).
+class ScopedLogConfig {
+ public:
+  ScopedLogConfig(std::ostream* sink, obs::LogLevel level) {
+    obs::set_log_sink(sink);
+    obs::set_log_level(level);
+  }
+  ~ScopedLogConfig() {
+    obs::set_log_sink(&std::cerr);
+    obs::set_log_level(obs::LogLevel::kInfo);
+  }
+};
+
+// Install a JSONL trace sink process-wide; uninstall before the log's own
+// destruction.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::unique_ptr<obs::TraceLog> log)
+      : log_(std::move(log)) {
+    if (log_) obs::set_trace(log_.get());
+  }
+  ~ScopedTrace() {
+    if (log_) obs::set_trace(nullptr);
+  }
+
+ private:
+  std::unique_ptr<obs::TraceLog> log_;
+};
 
 }  // namespace
 
@@ -458,16 +511,23 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
   const bool keep_going = args.take_flag("--keep-going");
   const bool json = args.take_flag("--json");
   const bool quiet = args.take_flag("--quiet");
+  const bool verbose = args.take_flag("--verbose");
   const bool checkpoint_data = args.take_flag("--checkpoint-data");
   const auto chaos_spec = args.take_value("--chaos");
   const auto checkpoint_dir = args.take_value("--checkpoints");
   const auto resume_dir = args.take_value("--resume");
   const auto format_spec = args.take_value("--format");
+  const auto telemetry = args.take_eq_flag("--telemetry");
+  const auto trace_out = args.take_value("--trace-out");
   if (!args.ok()) {
     err << args.error() << '\n';
     return kExitUsage;
   }
   if (reject_unknown(args, err)) return kExitUsage;
+  if (quiet && verbose) {
+    err << "--quiet and --verbose are mutually exclusive\n";
+    return kExitUsage;
+  }
   if (cycles < 1 || cycles > gen::kCycles) {
     err << "--cycles must be in [1, " << gen::kCycles << "]\n";
     return kExitUsage;
@@ -519,10 +579,29 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
     config.chaos = *chaos;
   }
 
+  // Telemetry is observed state only: the registry, trace and log sinks
+  // never feed back into the pipeline, so reports stay byte-identical with
+  // any combination of these flags.
+  const ScopedLogConfig log_config(
+      quiet ? nullptr : &err,
+      verbose ? obs::LogLevel::kDebug : obs::LogLevel::kInfo);
+  std::unique_ptr<obs::TraceLog> trace_log;
+  if (trace_out) {
+    trace_log = obs::TraceLog::open(*trace_out);
+    if (!trace_log) {
+      err << "cannot write " << *trace_out << '\n';
+      return kExitFatal;
+    }
+  }
+  const ScopedTrace trace_scope(std::move(trace_log));
+  // Fresh counters: the dump below covers this campaign alone, even when
+  // several invocations share the process (tests drive cli::run directly).
+  obs::registry().reset();
+
   run::RunOutcome outcome;
   try {
     const run::Runner runner(config);
-    outcome = runner.run_all_contained(quiet ? nullptr : &err);
+    outcome = runner.run_all_contained();
   } catch (const std::exception& e) {
     err << "fatal: " << e.what() << '\n';
     return kExitFatal;
@@ -539,6 +618,21 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
         fs::path(config.checkpoint_dir) / "manifest.json";
     std::ofstream ms(manifest_file);
     ms << outcome.manifest.to_json() << '\n';
+  }
+  if (telemetry) {
+    // Registry snapshot at end of run: to the named file, or to the err
+    // stream when the flag is bare (stdout stays machine-parsed report).
+    const std::string snapshot = obs::registry().to_json();
+    if (*telemetry) {
+      std::ofstream ts(**telemetry);
+      if (!ts) {
+        err << "cannot write " << **telemetry << '\n';
+        return kExitFatal;
+      }
+      ts << snapshot << '\n';
+    } else {
+      err << snapshot << '\n';
+    }
   }
 
   const run::RunManifest& manifest = outcome.manifest;
@@ -583,7 +677,8 @@ std::string usage() {
       "  campaign  [--cycles N] [--seed S] [--small] [--threads N]\n"
       "            [--chaos SPEC] [--keep-going] [--failure-budget N]\n"
       "            [--checkpoints DIR] [--resume DIR] [--checkpoint-data]\n"
-      "            [--format v2|v3] [--json] [--quiet]\n"
+      "            [--format v2|v3] [--json] [--quiet | --verbose]\n"
+      "            [--telemetry[=FILE]] [--trace-out FILE]\n"
       "                           end-to-end campaign with containment\n"
       "\n"
       "--strict (the default) aborts on the first malformed record;\n"
@@ -595,6 +690,10 @@ std::string usage() {
       "'flip=0.01,blackout=5%,fail=0.1,seed=7'.\n"
       "--threads 0 (the default) uses one thread per hardware thread; any\n"
       "value produces identical output (deterministic parallelism).\n"
+      "--quiet silences progress, --verbose adds per-cycle detail (both on\n"
+      "stderr). --telemetry dumps the metrics registry at end of run (to\n"
+      "stderr, or FILE with =FILE); --trace-out writes a JSONL event log.\n"
+      "Neither changes a report byte.\n"
       "\n"
       "exit codes: 0 success, 1 usage error, 2 partial run (contained\n"
       "failures), 3 fatal (I/O or undecodable input).\n";

@@ -8,6 +8,8 @@
 //   mum trees     --ip2as FILE SNAP [SNAP...]
 //   mum stats     SNAP [SNAP...]
 //   mum campaign  [--cycles N] [--chaos SPEC] [--keep-going] [--resume DIR]
+//                 [--telemetry[=FILE]] [--trace-out FILE]
+//                 [--quiet | --verbose]
 #pragma once
 
 #include <iosfwd>
@@ -37,6 +39,10 @@ class Args {
   std::optional<std::string> take_value(const std::string& name);
   // Boolean flag; false when absent. Consumes the flag.
   bool take_flag(const std::string& name);
+  // Flag with an optional inline value: "--name" or "--name=value".
+  // Outer nullopt when absent; inner nullopt when given bare.
+  std::optional<std::optional<std::string>> take_eq_flag(
+      const std::string& name);
   // Integer value flag with default; sets `error` on malformed input.
   long take_int(const std::string& name, long def);
 
