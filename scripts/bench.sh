@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
-# Micro-benchmark runner. Two stages, each writing a JSON report
+# Micro-benchmark runner. Four stages, each writing a JSON report
 # (google-benchmark --benchmark_format=json) at the repo root:
 #
-#   1. bench/micro_lpr   -> BENCH_PR4.json  (LPR/IGP hot paths, with the
+#   1. bench/micro_lpr    -> BENCH_PR4.json  (LPR/IGP hot paths, with the
 #      pre-PR IGP baselines embedded so the speedup is auditable from the
 #      artifact alone)
 #   2. bench/micro_ingest -> BENCH_PR6.json (warts-lite v2 stream decode vs
 #      v3 pack mmap ingest over a 60-cycle corpus, bytes/s and traces/s;
 #      gated: v3 mmap must ingest at >= 5x the v2 traces/s)
-#   3. bench/micro_obs   -> BENCH_PR7.json (telemetry primitives plus a
+#   3. bench/micro_obs    -> BENCH_PR7.json (telemetry primitives plus a
 #      small campaign with telemetry fully on — trace sink + registry
 #      dump — vs fully off; gated: on/off wall-clock ratio <= 1.03)
+#   4. bench/micro_evolve -> BENCH_PR8.json (delta-based cycle evolution vs
+#      from-scratch rebuild at 10^3/10^4/10^5-router tiers; gated: the
+#      delta step must be >= 5x faster than the rebuild at the 10^4 tier)
+#
+# After the micro stages, an RSS-envelope gate runs a scaled campaign
+# (`mum campaign --scale`) and fails when peak RSS exceeds the memory
+# budget documented in DESIGN.md §13 by more than 20%.
+#
+# Every report's context block records num_threads and build_type, so a
+# number can be traced back to the machine shape that produced it.
 #
 # The PR4 baselines were measured at commit 72d59fb (before the flat-RIB /
 # one-pass SPF rewrite) on the AT&T case-study shape (74 routers, 217 links,
@@ -19,8 +29,8 @@
 #   reconverge (2 links down, was a full recompute): 1971482 ns/iter
 #
 # Usage: scripts/bench.sh [build-dir] [benchmark-filter]
-# The filter applies to both binaries; the 5x ingest gate only runs when the
-# two gated benchmarks are present in the report (i.e. not filtered out).
+# The filter applies to all binaries; each gate only runs when the
+# benchmarks it reads are present in the report (i.e. not filtered out).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,12 +39,42 @@ filter="${2:-}"
 
 cmake -B "$build" -S "$repo"
 cmake --build "$build" -j --target micro_lpr --target micro_ingest \
-  --target micro_obs
+  --target micro_obs --target micro_evolve --target mum_tool
+
+# Machine/build provenance recorded into every report's context block.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt")"
+context_args=(
+  --benchmark_context=num_threads="$(nproc)"
+  --benchmark_context=build_type="${build_type:-unspecified}"
+)
+
+# Fail with a clear, actionable message (not a KeyError / shell error) when
+# a report that gates depend on is missing a baseline_* context key.
+require_baselines() {
+  python3 - "$1" "${@:2}" <<'PY'
+import json, sys
+
+path, keys = sys.argv[1], sys.argv[2:]
+try:
+    with open(path) as f:
+        context = json.load(f).get("context", {})
+except (OSError, ValueError) as e:
+    sys.exit(f"baseline check FAILED: cannot read {path}: {e}")
+missing = [k for k in keys if k not in context]
+if missing:
+    sys.exit(
+        f"baseline check FAILED: {path} context is missing "
+        f"{', '.join(missing)} — re-run scripts/bench.sh so the baseline "
+        f"values are embedded (they are set via --benchmark_context)"
+    )
+PY
+}
 
 args=(
   --benchmark_format=json
   --benchmark_out="$repo/BENCH_PR4.json"
   --benchmark_out_format=json
+  "${context_args[@]}"
   --benchmark_context=baseline_igp_compute_ns=2002143
   --benchmark_context=baseline_igp_reconverge_ns=1971482
   --benchmark_context=baseline_commit=72d59fb
@@ -45,11 +85,14 @@ fi
 
 "$build/bench/micro_lpr" "${args[@]}"
 echo "wrote $repo/BENCH_PR4.json"
+require_baselines "$repo/BENCH_PR4.json" \
+  baseline_igp_compute_ns baseline_igp_reconverge_ns baseline_commit
 
 ingest_args=(
   --benchmark_format=json
   --benchmark_out="$repo/BENCH_PR6.json"
   --benchmark_out_format=json
+  "${context_args[@]}"
 )
 if [[ -n "$filter" ]]; then
   ingest_args+=(--benchmark_filter="$filter")
@@ -85,6 +128,7 @@ obs_args=(
   --benchmark_out="$repo/BENCH_PR7.json"
   --benchmark_out_format=json
   --benchmark_min_time=0.5
+  "${context_args[@]}"
 )
 if [[ -n "$filter" ]]; then
   obs_args+=(--benchmark_filter="$filter")
@@ -112,3 +156,81 @@ print(
 if ratio > 1.03:
     sys.exit(f"telemetry gate FAILED: on/off = {ratio:.3f}x, need <= 1.03x")
 PY
+
+evolve_args=(
+  --benchmark_format=json
+  --benchmark_out="$repo/BENCH_PR8.json"
+  --benchmark_out_format=json
+  "${context_args[@]}"
+)
+if [[ -n "$filter" ]]; then
+  evolve_args+=(--benchmark_filter="$filter")
+fi
+
+"$build/bench/micro_evolve" "${evolve_args[@]}"
+echo "wrote $repo/BENCH_PR8.json"
+
+python3 - "$repo/BENCH_PR8.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+# Explicit ->Iterations(N) suffixes the benchmark name, so match by prefix.
+def find(prefix):
+    for b in report["benchmarks"]:
+        if b["name"] == prefix or b["name"].startswith(prefix + "/"):
+            return b
+    return None
+
+rebuild = find("BM_CycleRebuild/10000")
+evolve = find("BM_CycleEvolve/10000")
+if rebuild is None or evolve is None:
+    print("evolve gate skipped (benchmarks filtered out)")
+    sys.exit(0)
+ratio = rebuild["real_time"] / evolve["real_time"]
+print(
+    f"evolve (10^4 routers): rebuild {rebuild['real_time']:.2f} "
+    f"{rebuild['time_unit']}, delta step {evolve['real_time']:.3f} "
+    f"{evolve['time_unit']} -> {ratio:.0f}x"
+)
+if ratio < 5.0:
+    sys.exit(f"evolve gate FAILED: rebuild/evolve = {ratio:.2f}x, need >= 5x")
+PY
+
+# --- RSS envelope gate ------------------------------------------------------
+# A scaled campaign must stay inside the memory budget documented in
+# DESIGN.md §13 (keep these constants in sync with the table there):
+#   budget = base + routers * bytes_per_router + lsps * bytes_per_lsp
+# The gate fails when measured peak RSS exceeds the budget by > 20% — the
+# regression this catches is per-cycle state outliving its cycle (the
+# standing-world design makes that a multiplicative leak).
+if [[ -z "$filter" ]]; then
+  "$build/tools/mum" campaign --cycles 3 --small \
+    --scale routers=20000,lsps=100000 --json --quiet \
+    > "$build/rss_envelope.json"
+  python3 - "$build/rss_envelope.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    manifest = json.load(f)["manifest"]
+peak = manifest["peak_rss_bytes"]
+routers, lsps = 20_000, 100_000
+base = 64 * 1024 * 1024          # DESIGN.md §13: fixed overhead
+bytes_per_router = 16 * 1024     # DESIGN.md §13: bytes/router
+bytes_per_lsp = 200              # DESIGN.md §13: bytes/LSP
+budget = base + routers * bytes_per_router + lsps * bytes_per_lsp
+print(
+    f"rss envelope: peak {peak / 1e6:.0f} MB, budget {budget / 1e6:.0f} MB "
+    f"(routers={routers}, lsps={lsps}) -> {peak / budget:.2f}x"
+)
+if peak > budget * 1.2:
+    sys.exit(
+        f"rss gate FAILED: peak RSS {peak / 1e6:.0f} MB exceeds the "
+        f"DESIGN.md §13 budget {budget / 1e6:.0f} MB by "
+        f"{100 * (peak / budget - 1):.0f}% (> 20% allowed)"
+    )
+PY
+else
+  echo "rss envelope gate skipped (benchmark filter active)"
+fi

@@ -18,14 +18,17 @@ cmake -B "$build" -S "$repo"
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j
 
-echo "== tier-1: TSan pass over test_parallel + test_obs ($tsan_build) =="
+echo "== tier-1: TSan pass over test_parallel + test_obs + test_evolve ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" -DMUM_TSAN=ON
 # Only these targets — a full TSan tree is slow and adds nothing here.
 # test_obs runs with telemetry sinks installed, so the sharded metric and
-# trace paths get raced for real.
-cmake --build "$tsan_build" -j --target test_parallel --target test_obs
+# trace paths get raced for real. test_evolve races the DeltaEvolver's
+# per-AS delta fan-out and the evolved runner at 16 threads.
+cmake --build "$tsan_build" -j --target test_parallel --target test_obs \
+  --target test_evolve
 "$tsan_build/tests/test_parallel"
 "$tsan_build/tests/test_obs"
+"$tsan_build/tests/test_evolve"
 
 echo "== tier-1: ASan+UBSan pass over tolerant ingest ($asan_build) =="
 cmake -B "$asan_build" -S "$repo" -DMUM_ASAN=ON

@@ -104,6 +104,23 @@ dataset::MonthData CampaignRunner::month(int cycle) const {
   return month;
 }
 
+dataset::MonthData CampaignRunner::month(DeltaEvolver& evolver,
+                                         int cycle) const {
+  const Internet& internet = *internet_;
+  dataset::MonthData month;
+  month.cycle_id = static_cast<std::uint32_t>(cycle);
+  month.date = cycle_date(cycle);
+
+  MonthContext& ctx = evolver.evolve_to(cycle, /*day_of_month=*/1);
+  util::Rng dyn_rng(util::hash_combine(internet.config().seed,
+                                       0xD1Aull + cycle));
+  for (int s = 0; s <= config_.extra_snapshots; ++s) {
+    if (s > 0) ctx.advance_dynamics(dyn_rng);
+    month.snapshots.push_back(snapshot(ctx, cycle, s));
+  }
+  return month;
+}
+
 std::vector<dataset::Snapshot> CampaignRunner::daily_month(int cycle,
                                                            int days) const {
   const Internet& internet = *internet_;
@@ -111,10 +128,17 @@ std::vector<dataset::Snapshot> CampaignRunner::daily_month(int cycle,
   out.reserve(static_cast<std::size_t>(days));
   util::Rng dyn_rng(util::hash_combine(internet.config().seed,
                                        0xDA1ull + cycle));
+  // One standing context for the whole month: deployment ramps are
+  // day-resolved, but a day is a pristine rollback + profile re-evaluation
+  // away — byte-identical to the per-day re-instantiate this replaces.
+  MonthContext ctx = internet.instantiate(cycle, /*day_of_month=*/1, pool_);
   for (int day = 1; day <= days; ++day) {
-    // Deployment ramps are day-resolved, so re-instantiate per day.
-    MonthContext ctx = internet.instantiate(cycle, day, pool_);
-    if (day > 1) ctx.advance_dynamics(dyn_rng);
+    if (day > 1) {
+      ctx.restore_pristine();
+      ctx.set_day(day);
+      ctx.apply_flaps(/*sub_index=*/0, internet.config().ecmp_flap_prob);
+      ctx.advance_dynamics(dyn_rng);
+    }
 
     CampaignConfig day_config = config_;
     // Fleet-size wobble (the paper notes "the number of considered

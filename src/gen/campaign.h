@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "dataset/trace.h"
+#include "gen/evolve.h"
 #include "gen/internet.h"
 #include "util/thread_pool.h"
 
@@ -54,6 +55,10 @@ class CampaignRunner {
   // Full month: cycle snapshot + extra snapshots, advancing label dynamics
   // between runs.
   dataset::MonthData month(int cycle) const;
+  // Same month, generated against `evolver`'s standing world instead of a
+  // from-scratch instantiate. Byte-identical to `month(cycle)` (the
+  // DeltaEvolver oracle contract), but cycle N+1 is a mutation of cycle N.
+  dataset::MonthData month(DeltaEvolver& evolver, int cycle) const;
 
   // Daily data for one month (Fig. 16): `days` snapshots, profile evaluated
   // at each day, fleet size wobbling deterministically around the configured

@@ -1,6 +1,7 @@
 #include "gen/internet.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mum::gen {
 
@@ -81,6 +82,50 @@ std::vector<topo::LinkId> route_on(const igp::IgpState& igp,
 
 }  // namespace
 
+// Structural-change predicates for cycle evolution: which profile fields
+// force a rebuild of which plane. Everything else is an observation scalar
+// updated in place (apply_profile_scalars).
+bool ldp_structural_changed(const ProfileSnapshot& a,
+                            const ProfileSnapshot& b) {
+  return a.mpls_enabled != b.mpls_enabled || a.ldp != b.ldp ||
+         a.php != b.php || a.fec_all_loopbacks != b.fec_all_loopbacks;
+}
+
+bool te_structural_changed(const ProfileSnapshot& a,
+                           const ProfileSnapshot& b) {
+  return a.te_pair_share != b.te_pair_share ||
+         a.te_lsps_min != b.te_lsps_min || a.te_lsps_max != b.te_lsps_max ||
+         a.te_diverse_route_prob != b.te_diverse_route_prob ||
+         a.te_frr != b.te_frr || a.ldp_over_te_share != b.ldp_over_te_share;
+}
+
+void MonthContext::restore_pristine() {
+  for (auto& [asn, planes] : planes_) {
+    for (std::size_t i = 0; i < planes->pools.size(); ++i) {
+      planes->pools[i].restore(planes->pools_pristine[i]);
+    }
+    if (planes->rsvp) planes->rsvp->restore_pristine();
+    planes->igp_now.reset();
+    planes->plane.igp = &planes->cycle_igp(*internet_->modeled(asn));
+  }
+}
+
+void MonthContext::set_day(int day_of_month) {
+  for (auto& [asn, planes] : planes_) {
+    const ModeledAs* as = internet_->modeled(asn);
+    const ProfileSnapshot profile =
+        profile_at(asn, as->shape, cycle_, day_of_month);
+    if (ldp_structural_changed(planes->profile, profile)) {
+      internet_->build_as_planes(asn, *as, profile, *planes, pool_);
+    } else if (te_structural_changed(planes->profile, profile)) {
+      internet_->build_te_planes(asn, *as, profile, *planes);
+    } else {
+      Internet::apply_profile_scalars(profile, *planes);
+      planes->profile = profile;
+    }
+  }
+}
+
 void MonthContext::apply_flaps(int sub_index, double flap_prob) {
   const GenConfig& config = internet_->config();
   for (auto& [asn, planes] : planes_) {
@@ -101,11 +146,24 @@ void MonthContext::apply_flaps(int sub_index, double flap_prob) {
     }
 
     // --- link failures + IGP reconvergence ------------------------------
+    // The month's failures layer on top of this cycle's persistent link
+    // overlay: the reconvergence baseline is the overlay-converged state
+    // and the down mask is the union of both layers.
+    const igp::IgpState& cycle_base = planes->cycle_igp(*as);
+    const igp::LinkOverlay* overlay =
+        planes->overlay.down.empty() && planes->overlay.cost.empty()
+            ? nullptr
+            : &planes->overlay;
     const bool maintenance =
         to01(util::hash_combine(asn, month_seed_ ^ 0x3A17ull)) <
         config.as_maintenance_prob;
     bool any_down = false;
-    std::vector<bool> down(as->topo.link_count(), false);
+    std::vector<bool> down;
+    if (overlay != nullptr && !overlay->down.empty()) {
+      down = overlay->down;
+    } else {
+      down.assign(as->topo.link_count(), false);
+    }
     if (maintenance) {
       for (topo::LinkId l = 0; l < as->topo.link_count(); ++l) {
         const std::uint64_t h = util::hash_combine(
@@ -115,7 +173,7 @@ void MonthContext::apply_flaps(int sub_index, double flap_prob) {
         // The link goes down at a uniform snapshot of the month and stays
         // down (maintenance windows outlive the probing run).
         const int onset = static_cast<int>(util::mix64(h) % 3);
-        if (sub_index >= onset) {
+        if (sub_index >= onset && !down[l]) {
           down[l] = true;
           any_down = true;
         }
@@ -124,8 +182,8 @@ void MonthContext::apply_flaps(int sub_index, double flap_prob) {
     if (any_down) {
       // Incremental reconvergence: only sources whose shortest-path DAG
       // crosses a downed link are recomputed; the rest reuse the base RIB.
-      planes->igp_now =
-          igp::IgpState::reconverge(as->topo, as->igp, down, pool_);
+      planes->igp_now = igp::IgpState::reconverge(as->topo, cycle_base, down,
+                                                  pool_, nullptr, overlay);
       planes->plane.igp = &*planes->igp_now;
       // RSVP-TE reconverges too. With fast reroute, a broken LSP switches
       // to its pre-signalled backup (labels stable); otherwise it is
@@ -143,7 +201,7 @@ void MonthContext::apply_flaps(int sub_index, double flap_prob) {
       }
     } else {
       planes->igp_now.reset();
-      planes->plane.igp = &as->igp;
+      planes->plane.igp = &cycle_base;
     }
   }
 }
@@ -168,6 +226,14 @@ void MonthContext::advance_dynamics(util::Rng& rng) {
 
 Internet::Internet(const GenConfig& config, util::ThreadPool* pool)
     : config_(config) {
+  if (config_.scale_routers > 0) {
+    // Scale the AS count, not the AS size: per-AS IGP state is O(n^2), so
+    // internet-scale worlds are many ~256-router transit networks.
+    constexpr std::uint64_t kScaleAsRouters = 256;
+    const auto want = static_cast<int>(
+        (config_.scale_routers + kScaleAsRouters - 1) / kScaleAsRouters);
+    config_.background_transit = std::max(config_.background_transit, want);
+  }
   util::Rng rng(config.seed);
   build_graph(rng);
   build_topologies(rng, pool);
@@ -306,6 +372,19 @@ void Internet::build_topologies(util::Rng& rng_in, util::ThreadPool* pool) {
         break;
       default:
         shape = background_shape(asn, background_index++, rng);
+        if (config_.scale_routers > 0 && asn >= 200 && asn < 30000) {
+          // Scaled background transit AS: ~256 routers, half the fleet
+          // running a TE mesh (te density set from scale_lsps below), always
+          // deployed so the standing world carries the target LSP load.
+          shape.scaled = true;
+          shape.archetype = (asn % 2 == 0) ? MplsArchetype::kTeMixed
+                                           : MplsArchetype::kLdpEcmp;
+          shape.adopt_cycle = -1;
+          shape.retire_cycle = kCycles + 1;
+          shape.topo.core_routers = 32;
+          shape.topo.pop_routers = 224;
+          shape.topo.border_share = 0.5;
+        }
         break;
     }
     shape.topo.asn = asn;
@@ -363,6 +442,37 @@ void Internet::build_topologies(util::Rng& rng_in, util::ThreadPool* pool) {
     }
 
     modeled_.emplace(asn, std::move(modeled));
+  }
+
+  // TE density for scaled worlds: size te_pair_share so the scaled TE meshes
+  // together carry >= scale_lsps TE LSPs (pair slots counted from the built
+  // topologies, so the target holds whatever border counts the builder drew).
+  if (config_.scale_routers > 0 && config_.scale_lsps > 0) {
+    double total_slots = 0.0;
+    for (const auto& [asn, m] : modeled_) {
+      if (!m->shape.scaled || m->shape.archetype != MplsArchetype::kTeMixed) {
+        continue;
+      }
+      const double b = static_cast<double>(m->topo.border_routers().size());
+      total_slots += b * (b - 1.0);
+    }
+    if (total_slots > 0.0) {
+      constexpr double kShareCap = 0.95;
+      const double target = static_cast<double>(config_.scale_lsps);
+      const int lsps = std::max(
+          1, static_cast<int>(std::ceil(target / (kShareCap * total_slots))));
+      const double share =
+          std::min(kShareCap, target / (total_slots * static_cast<double>(
+                                                          lsps)));
+      for (auto& [asn, m] : modeled_) {
+        if (!m->shape.scaled ||
+            m->shape.archetype != MplsArchetype::kTeMixed) {
+          continue;
+        }
+        m->shape.te_pair_share_override = share;
+        m->shape.te_lsps_override = lsps;
+      }
+    }
   }
 }
 
@@ -463,6 +573,267 @@ dataset::Ip2As Internet::build_ip2as() const {
   return ip2as;
 }
 
+namespace {
+
+std::vector<mpls::LabelPool::State> pool_states(
+    const std::vector<mpls::LabelPool>& pools) {
+  std::vector<mpls::LabelPool::State> out;
+  out.reserve(pools.size());
+  for (const mpls::LabelPool& pool : pools) out.push_back(pool.state());
+  return out;
+}
+
+// Allocation-history drift between TE re-signalling epochs: every router
+// discards a small per-router-constant number of labels per epoch, so a
+// rebuilt epoch-k control plane draws from visibly different counter
+// positions (Fig. 17 label motion) while staying O(1) to replay.
+void burn_epoch_labels(std::uint32_t asn, std::uint64_t seed,
+                       std::uint32_t epoch,
+                       std::vector<mpls::LabelPool>& pools) {
+  if (epoch == 0) return;
+  for (std::size_t r = 0; r < pools.size(); ++r) {
+    const std::uint64_t per_epoch =
+        1 + util::hash_combine((static_cast<std::uint64_t>(asn) << 32) | r,
+                               seed ^ 0x7E51ull) %
+                7;
+    pools[r].burn(std::uint64_t{epoch} * per_epoch);
+  }
+}
+
+// Signal the full RSVP-TE mesh of one AS over `cycle_igp` (the TE block of a
+// from-scratch build; also replayed alone by build_te_planes). Draw order is
+// part of the determinism contract — LSP ids and label sequences must match a
+// full rebuild exactly.
+void signal_te_planes(std::uint32_t asn, const ModeledAs& modeled,
+                      const ProfileSnapshot& profile,
+                      const igp::IgpState& cycle_igp, AsPlanes& planes) {
+  if (profile.te_pair_share <= 0.0 && profile.ldp_over_te_share <= 0.0) {
+    return;
+  }
+  auto& plane = planes.plane;
+  mpls::RsvpConfig rsvp_config;
+  rsvp_config.php = profile.php;
+  rsvp_config.diverse_route_prob = profile.te_diverse_route_prob;
+  rsvp_config.frr = profile.te_frr;
+  planes.rsvp = std::make_unique<mpls::RsvpTePlane>(&modeled.topo, &cycle_igp,
+                                                    rsvp_config);
+
+  // Stable pair selection: a pair joins the TE mesh once the share
+  // rises past its fixed draw, so deployments grow monotonically.
+  const auto borders = modeled.topo.border_routers();
+  for (const topo::RouterId ingress : borders) {
+    for (const topo::RouterId egress : borders) {
+      if (ingress == egress) continue;
+      const std::uint64_t pair_key =
+          util::hash_combine(util::hash_combine(asn, ingress), egress);
+      if (to01(util::mix64(pair_key)) >= profile.te_pair_share) {
+        continue;
+      }
+      const int count =
+          profile.te_lsps_min +
+          static_cast<int>(util::mix64(pair_key ^ 0xC0ull) %
+                           static_cast<std::uint64_t>(profile.te_lsps_max -
+                                                      profile.te_lsps_min +
+                                                      1));
+      util::Rng pair_rng(pair_key);
+      const auto ids =
+          planes.rsvp->signal(ingress, egress, count, planes.pools, pair_rng);
+      if (!ids.empty()) {
+        plane.te_policy.pairs[{ingress, egress}] = ids;
+      }
+    }
+  }
+  plane.te_policy.te_share = profile.te_share;
+  plane.te_policy.salt = util::hash_combine(asn, 0x7E7E7E7Eull);
+  plane.rsvp = planes.rsvp.get();
+
+  // LDP-over-RSVP hub tunnels: each border gets a tunnel to 1-2 core
+  // routers (the builder allocates core router ids first).
+  if (profile.ldp_over_te_share > 0.0 && profile.ldp) {
+    plane.te_policy.ldp_over_te_share = profile.ldp_over_te_share;
+    const int n_core = modeled.shape.topo.core_routers;
+    for (const topo::RouterId ingress : borders) {
+      std::vector<mpls::LspId> tunnels;
+      for (int h = 0; h < 2 && h < n_core; ++h) {
+        const topo::RouterId hub = static_cast<topo::RouterId>(
+            (util::hash_combine(asn, ingress) +
+             static_cast<std::uint64_t>(h)) %
+            static_cast<std::uint64_t>(n_core));
+        if (hub == ingress) continue;
+        util::Rng hub_rng(util::hash_combine(ingress, hub));
+        const auto hub_ids =
+            planes.rsvp->signal(ingress, hub, 1, planes.pools, hub_rng);
+        tunnels.insert(tunnels.end(), hub_ids.begin(), hub_ids.end());
+      }
+      if (!tunnels.empty()) {
+        plane.te_policy.hub_tunnels[ingress] = std::move(tunnels);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+igp::LinkOverlay Internet::overlay_at(const ModeledAs& as, std::uint32_t asn,
+                                      int cycle) const {
+  igp::LinkOverlay overlay;
+  const GenConfig::Churn& churn = config_.churn;
+  if (cycle <= 0 ||
+      (churn.link_down_prob <= 0.0 && churn.metric_change_prob <= 0.0 &&
+       churn.router_down_prob <= 0.0)) {
+    return overlay;
+  }
+  const std::uint64_t key = util::hash_combine(
+      config_.seed ^ 0xE0E1ull,
+      util::hash_combine(asn, static_cast<std::uint64_t>(cycle)));
+  const std::size_t n_links = as.topo.link_count();
+  std::vector<bool> down(n_links, false);
+  std::vector<std::uint32_t> cost(n_links, 0);
+  bool any_down = false;
+  bool any_cost = false;
+  for (const topo::Link& link : as.topo.links()) {
+    const std::uint64_t h = util::hash_combine(key, 0xD011ull + link.id);
+    if (to01(h) < churn.link_down_prob) {
+      down[link.id] = true;
+      any_down = true;
+      continue;
+    }
+    const std::uint64_t hm = util::hash_combine(key, 0x3E71ull + link.id);
+    if (to01(hm) < churn.metric_change_prob) {
+      // Re-priced near the base metric; never 0 (0 means "no override") and
+      // never the base value, so the override is a real change.
+      std::uint32_t priced = 1 + static_cast<std::uint32_t>(
+                                     util::mix64(hm) %
+                                     (2ull * link.igp_cost + 2));
+      if (priced == link.igp_cost) ++priced;
+      cost[link.id] = priced;
+      any_cost = true;
+    }
+  }
+  if (churn.router_down_prob > 0.0) {
+    for (const topo::Router& r : as.topo.routers()) {
+      const std::uint64_t h = util::hash_combine(key, 0x4007ull + r.id);
+      if (to01(h) >= churn.router_down_prob) continue;
+      for (const topo::LinkId l : as.topo.links_of(r.id)) {
+        if (!down[l]) {
+          down[l] = true;
+          any_down = true;
+        }
+      }
+    }
+  }
+  // Canonical form: the trivial overlay is {} so overlay comparisons and
+  // the "no overlay" fast paths stay exact.
+  if (any_down) overlay.down = std::move(down);
+  if (any_cost) overlay.cost = std::move(cost);
+  return overlay;
+}
+
+std::uint32_t Internet::label_epoch_at(std::uint32_t asn, int cycle) const {
+  const double prob = config_.churn.te_resignal_prob;
+  if (prob <= 0.0 || cycle <= 0) return 0;
+  std::uint32_t epochs = 0;
+  for (int c = 1; c <= cycle; ++c) {
+    const std::uint64_t h = util::hash_combine(
+        config_.seed ^ 0x7E5Aull,
+        util::hash_combine(asn, static_cast<std::uint64_t>(c)));
+    if (to01(h) < prob) ++epochs;
+  }
+  return epochs;
+}
+
+void Internet::apply_profile_scalars(const ProfileSnapshot& profile,
+                                     AsPlanes& planes) {
+  auto& plane = planes.plane;
+  plane.ttl_propagate = profile.ttl_propagate;
+  plane.rfc4950 = profile.rfc4950;
+  plane.mpls_coverage = profile.mpls_enabled ? profile.mpls_coverage : 0.0;
+  plane.ler_share = profile.ler_share;
+  if (planes.rsvp) plane.te_policy.te_share = profile.te_share;
+}
+
+void Internet::build_as_planes(std::uint32_t asn, const ModeledAs& modeled,
+                               const ProfileSnapshot& profile,
+                               AsPlanes& planes,
+                               util::ThreadPool* pool) const {
+  (void)pool;  // per-AS work runs single-threaded under the AS-level fan-out
+  const igp::IgpState& cycle_igp = planes.cycle_igp(modeled);
+
+  planes.pools.clear();
+  planes.ldp.reset();
+  planes.rsvp.reset();
+  planes.igp_now.reset();
+  planes.plane = probe::AsDataPlane{};
+  auto& plane = planes.plane;
+  plane.asn = asn;
+  plane.topo = &modeled.topo;
+  plane.igp = &cycle_igp;
+  plane.coverage_salt = util::hash_combine(asn, config_.seed ^ 0xC0Full);
+  plane.ler_salt = util::hash_combine(asn, config_.seed ^ 0x1E4ull);
+
+  if (profile.mpls_enabled) {
+    planes.pools.reserve(modeled.topo.router_count());
+    for (const topo::Router& r : modeled.topo.routers()) {
+      // Desynchronized per-router counters (see LabelPool): stable per
+      // (seed, asn, router) so labels persist across snapshots/cycles.
+      planes.pools.emplace_back(
+          r.vendor,
+          util::hash_combine(
+              (static_cast<std::uint64_t>(asn) << 32) | r.id,
+              config_.seed ^ 0x9001ull));
+    }
+    if (profile.ldp) {
+      mpls::LdpConfig ldp_config;
+      ldp_config.php = profile.php;
+      ldp_config.fec_all_loopbacks = profile.fec_all_loopbacks;
+      // LDP binds over the time-invariant base IGP: bindings pre-date this
+      // cycle's overlay (a binding exists per (router, FEC) regardless);
+      // forwarding follows plane.igp, exactly as with in-month failures.
+      planes.ldp = mpls::LdpPlane::build(modeled.topo, modeled.igp,
+                                         ldp_config, planes.pools);
+      plane.ldp = &*planes.ldp;
+    }
+    // Counter snapshot the TE-only rebuild restarts from, then the
+    // re-signalling epoch drift, then the TE mesh over the cycle IGP.
+    planes.pools_after_ldp = pool_states(planes.pools);
+    burn_epoch_labels(asn, config_.seed, planes.label_epoch, planes.pools);
+    signal_te_planes(asn, modeled, profile, cycle_igp, planes);
+  } else {
+    planes.pools_after_ldp.clear();
+  }
+
+  apply_profile_scalars(profile, planes);
+  planes.pools_pristine = pool_states(planes.pools);
+  if (planes.rsvp) planes.rsvp->mark_pristine();
+  planes.profile = profile;
+}
+
+void Internet::build_te_planes(std::uint32_t asn, const ModeledAs& modeled,
+                               const ProfileSnapshot& profile,
+                               AsPlanes& planes) const {
+  const igp::IgpState& cycle_igp = planes.cycle_igp(modeled);
+  auto& plane = planes.plane;
+  // Rewind label counters to the post-LDP snapshot and replay the epoch
+  // drift: the fresh TE mesh then draws exactly the label sequence a full
+  // from-scratch build of this profile would.
+  for (std::size_t i = 0; i < planes.pools.size(); ++i) {
+    planes.pools[i].restore(planes.pools_after_ldp[i]);
+  }
+  burn_epoch_labels(asn, config_.seed, planes.label_epoch, planes.pools);
+  planes.rsvp.reset();
+  planes.igp_now.reset();
+  plane.igp = &cycle_igp;
+  plane.rsvp = nullptr;
+  plane.te_policy = probe::TePolicy{};
+  if (profile.mpls_enabled) {
+    signal_te_planes(asn, modeled, profile, cycle_igp, planes);
+  }
+  apply_profile_scalars(profile, planes);
+  planes.pools_pristine = pool_states(planes.pools);
+  if (planes.rsvp) planes.rsvp->mark_pristine();
+  planes.profile = profile;
+}
+
 MonthContext Internet::instantiate(int cycle, int day_of_month,
                                    util::ThreadPool* pool) const {
   MonthContext ctx;
@@ -471,104 +842,30 @@ MonthContext Internet::instantiate(int cycle, int day_of_month,
   ctx.pool_ = pool;
   ctx.month_seed_ = util::hash_combine(config_.seed, 0xC1C7Eull + cycle);
 
-  for (const auto& [asn, modeled] : modeled_) {
-    const ProfileSnapshot profile =
-        profile_at(asn, modeled->shape, cycle, day_of_month);
-
+  // Per-AS builds are independent: fan out across ASes and assemble the
+  // ordered plane map serially, so the result is thread-count invariant.
+  std::vector<std::uint32_t> asns;
+  asns.reserve(modeled_.size());
+  for (const auto& [asn, modeled] : modeled_) asns.push_back(asn);
+  std::vector<std::unique_ptr<AsPlanes>> built(asns.size());
+  util::parallel_for(pool, asns.size(), [&](std::size_t i) {
+    const std::uint32_t asn = asns[i];
+    const ModeledAs& as = *modeled_.at(asn);
     auto planes = std::make_unique<AsPlanes>();
-    auto& plane = planes->plane;
-    plane.asn = asn;
-    plane.topo = &modeled->topo;
-    plane.igp = &modeled->igp;
-    plane.ttl_propagate = profile.ttl_propagate;
-    plane.rfc4950 = profile.rfc4950;
-    plane.mpls_coverage = profile.mpls_enabled ? profile.mpls_coverage : 0.0;
-    plane.coverage_salt = util::hash_combine(asn, config_.seed ^ 0xC0Full);
-    plane.ler_share = profile.ler_share;
-    plane.ler_salt = util::hash_combine(asn, config_.seed ^ 0x1E4ull);
-
-    if (profile.mpls_enabled) {
-      planes->pools.reserve(modeled->topo.router_count());
-      for (const topo::Router& r : modeled->topo.routers()) {
-        // Desynchronized per-router counters (see LabelPool): stable per
-        // (seed, asn, router) so labels persist across snapshots/cycles.
-        planes->pools.emplace_back(
-            r.vendor,
-            util::hash_combine((static_cast<std::uint64_t>(asn) << 32) |
-                                   r.id,
-                               config_.seed ^ 0x9001ull));
-      }
-      if (profile.ldp) {
-        mpls::LdpConfig ldp_config;
-        ldp_config.php = profile.php;
-        ldp_config.fec_all_loopbacks = profile.fec_all_loopbacks;
-        planes->ldp = mpls::LdpPlane::build(modeled->topo, modeled->igp,
-                                            ldp_config, planes->pools);
-        plane.ldp = &*planes->ldp;
-      }
-      if (profile.te_pair_share > 0.0 || profile.ldp_over_te_share > 0.0) {
-        mpls::RsvpConfig rsvp_config;
-        rsvp_config.php = profile.php;
-        rsvp_config.diverse_route_prob = profile.te_diverse_route_prob;
-        rsvp_config.frr = profile.te_frr;
-        planes->rsvp = std::make_unique<mpls::RsvpTePlane>(
-            &modeled->topo, &modeled->igp, rsvp_config);
-
-        // Stable pair selection: a pair joins the TE mesh once the share
-        // rises past its fixed draw, so deployments grow monotonically.
-        const auto borders = modeled->topo.border_routers();
-        for (const topo::RouterId ingress : borders) {
-          for (const topo::RouterId egress : borders) {
-            if (ingress == egress) continue;
-            const std::uint64_t pair_key = util::hash_combine(
-                util::hash_combine(asn, ingress), egress);
-            if (to01(util::mix64(pair_key)) >= profile.te_pair_share) {
-              continue;
-            }
-            const int count = profile.te_lsps_min +
-                              static_cast<int>(util::mix64(pair_key ^ 0xC0ull) %
-                                               static_cast<std::uint64_t>(
-                                                   profile.te_lsps_max -
-                                                   profile.te_lsps_min + 1));
-            util::Rng pair_rng(pair_key);
-            const auto ids = planes->rsvp->signal(ingress, egress, count,
-                                                  planes->pools, pair_rng);
-            if (!ids.empty()) {
-              plane.te_policy.pairs[{ingress, egress}] = ids;
-            }
-          }
-        }
-        plane.te_policy.te_share = profile.te_share;
-        plane.te_policy.salt = util::hash_combine(asn, 0x7E7E7E7Eull);
-        plane.rsvp = planes->rsvp.get();
-
-        // LDP-over-RSVP hub tunnels: each border gets a tunnel to 1-2 core
-        // routers (the builder allocates core router ids first).
-        if (profile.ldp_over_te_share > 0.0 && profile.ldp) {
-          plane.te_policy.ldp_over_te_share = profile.ldp_over_te_share;
-          const int n_core = modeled->shape.topo.core_routers;
-          for (const topo::RouterId ingress : borders) {
-            std::vector<mpls::LspId> tunnels;
-            for (int h = 0; h < 2 && h < n_core; ++h) {
-              const topo::RouterId hub = static_cast<topo::RouterId>(
-                  (util::hash_combine(asn, ingress) + static_cast<
-                       std::uint64_t>(h)) % static_cast<std::uint64_t>(
-                      n_core));
-              if (hub == ingress) continue;
-              util::Rng hub_rng(util::hash_combine(ingress, hub));
-              const auto hub_ids = planes->rsvp->signal(
-                  ingress, hub, 1, planes->pools, hub_rng);
-              tunnels.insert(tunnels.end(), hub_ids.begin(), hub_ids.end());
-            }
-            if (!tunnels.empty()) {
-              plane.te_policy.hub_tunnels[ingress] = std::move(tunnels);
-            }
-          }
-        }
-      }
+    planes->overlay = overlay_at(as, asn, cycle);
+    planes->label_epoch = label_epoch_at(asn, cycle);
+    if (!planes->overlay.trivial()) {
+      // Nested parallel_for runs inline inside a pool worker, so this SPF
+      // is effectively single-threaded here; AS-level fan-out saturates.
+      planes->igp_cycle = igp::IgpState::compute(as.topo, nullptr, pool,
+                                                 &planes->overlay);
     }
-
-    ctx.planes_.emplace(asn, std::move(planes));
+    build_as_planes(asn, as, profile_at(asn, as.shape, cycle, day_of_month),
+                    *planes, pool);
+    built[i] = std::move(planes);
+  });
+  for (std::size_t i = 0; i < asns.size(); ++i) {
+    ctx.planes_.emplace(asns[i], std::move(built[i]));
   }
   ctx.apply_flaps(/*sub_index=*/0, config_.ecmp_flap_prob);
   return ctx;

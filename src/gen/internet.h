@@ -62,6 +62,33 @@ struct GenConfig {
   // Probability that a modelled AS has one mis-originated /23 in the IP2AS
   // table (drives the small IntraAS filter hit, paper: ~0.9% of LSPs).
   double ip2as_noise = 0.25;
+
+  // --- cycle-to-cycle churn ------------------------------------------------
+  // Long-lived per-cycle topology deltas (distinct from the intra-month
+  // maintenance failures above): every knob draws from pure functions of
+  // (seed, asn, cycle), so a delta-evolved world and a from-scratch rebuild
+  // of the same cycle are byte-identical (the DeltaEvolver oracle contract).
+  struct Churn {
+    double link_down_prob = 0.0;      // per (link, cycle): link out all month
+    double metric_change_prob = 0.0;  // per (link, cycle): IGP cost override
+    double router_down_prob = 0.0;    // per (router, cycle): all links down
+    // Per (AS, cycle) probability of an LSP re-signalling epoch: every TE
+    // LSP of the AS re-signals with fresh labels (Fig. 17 label motion).
+    double te_resignal_prob = 0.0;
+
+    bool any() const noexcept {
+      return link_down_prob > 0.0 || metric_change_prob > 0.0 ||
+             router_down_prob > 0.0 || te_resignal_prob > 0.0;
+    }
+  } churn;
+
+  // --- scale knobs (`--scale routers=N,lsps=M`) ----------------------------
+  // Targets for the synthetic world size. `scale_routers` grows the
+  // background transit AS count with ~256-router shapes (per-AS state is
+  // O(n^2), so scale the AS count, not the AS size); `scale_lsps` sets TE
+  // density so the standing world carries at least that many TE LSPs.
+  std::uint64_t scale_routers = 0;  // 0 = off
+  std::uint64_t scale_lsps = 0;     // 0 = off
 };
 
 struct Destination {
@@ -99,12 +126,39 @@ struct AsPlanes {
   std::optional<mpls::LdpPlane> ldp;
   std::unique_ptr<mpls::RsvpTePlane> rsvp;
   // IGP state after this snapshot's link failures (unset => no failures,
-  // plane.igp points at the ModeledAs base state).
+  // plane.igp points at the cycle-converged state below, or the ModeledAs
+  // base state when this cycle's overlay is trivial).
   std::optional<igp::IgpState> igp_now;
   probe::AsDataPlane plane;  // pointers reference ModeledAs + this struct
+
+  // --- cycle-evolution state (DeltaEvolver / MonthContext reuse) -----------
+  ProfileSnapshot profile;    // profile these planes were built from
+  igp::LinkOverlay overlay;   // this cycle's persistent link deltas
+  // IGP converged under `overlay` (unset when the overlay is trivial; the
+  // base ModeledAs::igp is then the cycle state). TE LSPs signal over this.
+  std::optional<igp::IgpState> igp_cycle;
+  std::uint32_t label_epoch = 0;  // TE re-signalling epochs up to this cycle
+  // Label-counter snapshots: after the LDP build (the base TE-only rebuilds
+  // restart from) and after the full pristine build (what restore_pristine
+  // rewinds to, undoing intra-month re-signalling draws).
+  std::vector<mpls::LabelPool::State> pools_after_ldp;
+  std::vector<mpls::LabelPool::State> pools_pristine;
+
+  // The IGP state this cycle's routes are computed against.
+  const igp::IgpState& cycle_igp(const ModeledAs& as) const noexcept {
+    return igp_cycle ? *igp_cycle : as.igp;
+  }
 };
 
 class Internet;
+class DeltaEvolver;
+
+// True when a profile transition requires rebuilding the AS's LDP plane and
+// label pools from scratch (fields that change LDP label content).
+bool ldp_structural_changed(const ProfileSnapshot& a, const ProfileSnapshot& b);
+// True when a profile transition requires re-signalling the AS's RSVP-TE
+// plane (fields that change the TE LSP set or its label draws).
+bool te_structural_changed(const ProfileSnapshot& a, const ProfileSnapshot& b);
 
 // The control planes of every modelled AS for one month, plus snapshot-level
 // observation state (ECMP flaps, coverage ramp days).
@@ -117,8 +171,23 @@ class MonthContext {
 
   const probe::AsDataPlane* plane_of(std::uint32_t asn) const;
 
+  int cycle() const noexcept { return cycle_; }
+
+  // --- standing-world reuse (DeltaEvolver, daily_month) --------------------
+  // Rolls every AS back to its pristine start-of-month control-plane state:
+  // undoes flap re-signalling, dynamics re-optimization and failure state,
+  // rewinds label-pool counters, and resets per-cycle scratch arenas. After
+  // this, the context is byte-equivalent to a freshly instantiated month
+  // just before its initial apply_flaps(0).
+  void restore_pristine();
+  // Re-evaluates profiles at (cycle, day_of_month): ASes whose structural
+  // knobs changed are rebuilt (deployment ramps are day-resolved); cheap
+  // observation scalars are updated in place. Call on a pristine context.
+  void set_day(int day_of_month);
+
  private:
   friend class Internet;
+  friend class DeltaEvolver;
   int cycle_ = 0;
   std::uint64_t month_seed_ = 0;
   std::map<std::uint32_t, std::unique_ptr<AsPlanes>> planes_;
@@ -166,10 +235,39 @@ class Internet {
     return monitor_asn_.at(monitor_id);
   }
 
+  // Persistent link/metric/router deltas of `asn` at `cycle`: a pure
+  // function of (seed, asn, cycle), identical whether the cycle is reached
+  // by delta evolution or from-scratch instantiation. Canonical form: the
+  // trivial overlay is {} (empty vectors).
+  igp::LinkOverlay overlay_at(const ModeledAs& as, std::uint32_t asn,
+                              int cycle) const;
+  // Number of TE re-signalling epochs of `asn` up to and including `cycle`
+  // (monotone in cycle; pure function of seed/asn/cycle).
+  std::uint32_t label_epoch_at(std::uint32_t asn, int cycle) const;
+
  private:
+  friend class MonthContext;
+  friend class DeltaEvolver;
+
   void build_graph(util::Rng& rng);
   void build_topologies(util::Rng& rng, util::ThreadPool* pool);
   void place_monitors_and_destinations(util::Rng& rng);
+
+  // Full per-AS control-plane build for `profile`: pools (with the epoch
+  // label burn), LDP, RSVP-TE signalled over the cycle IGP, scalar fields,
+  // and the pristine snapshots. Expects planes.overlay / planes.igp_cycle /
+  // planes.label_epoch already set for the target cycle.
+  void build_as_planes(std::uint32_t asn, const ModeledAs& as,
+                       const ProfileSnapshot& profile, AsPlanes& planes,
+                       util::ThreadPool* pool) const;
+  // TE-only rebuild: rewinds pools to the post-LDP snapshot, replays the
+  // epoch burn, and re-signals the RSVP-TE plane; the LDP plane and its
+  // label content are untouched.
+  void build_te_planes(std::uint32_t asn, const ModeledAs& as,
+                       const ProfileSnapshot& profile, AsPlanes& planes) const;
+  // Updates the cheap per-snapshot observation scalars from `profile`.
+  static void apply_profile_scalars(const ProfileSnapshot& profile,
+                                    AsPlanes& planes);
 
   GenConfig config_;
   AsGraph graph_;

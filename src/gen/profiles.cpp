@@ -169,6 +169,16 @@ ProfileSnapshot profile_at(std::uint32_t asn, const AsShape& shape, int cycle,
     case MplsArchetype::kNoMpls:
       break;  // unreachable
   }
+  if (shape.te_pair_share_override >= 0.0 && shape.te_lsps_override > 0) {
+    // Scaled worlds pin TE density (the fleet-wide LSP target) and keep the
+    // per-cycle signalling cost predictable: no FRR backups, no per-snapshot
+    // re-optimization.
+    p.te_pair_share = shape.te_pair_share_override;
+    p.te_lsps_min = shape.te_lsps_override;
+    p.te_lsps_max = shape.te_lsps_override;
+    p.te_frr = false;
+    p.dynamic_labels = false;
+  }
   return p;
 }
 

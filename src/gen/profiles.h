@@ -78,6 +78,13 @@ struct AsShape {
   // kCycles = never) and optional cycle at which it turns off.
   int adopt_cycle = -1;
   int retire_cycle = kCycles + 1;
+
+  // --- scale-campaign overrides (set by the Internet `--scale` knobs) ------
+  // When `scaled`, the TE overrides (if >= 0 / > 0) pin the pair share and
+  // per-pair LSP count so the fleet hits a global TE LSP target.
+  bool scaled = false;
+  double te_pair_share_override = -1.0;
+  int te_lsps_override = -1;
 };
 
 // Profile of one AS at (cycle, day_of_month). The day matters only for ramp

@@ -303,9 +303,35 @@ IgpState IgpState::assemble(std::size_t n, std::vector<SourceRow>& fresh,
   return out;
 }
 
+namespace {
+
+// Union of the transient down set and the overlay's down links, as the mask
+// the per-source SPF consumes. Returns nullptr when nothing is down.
+const std::vector<bool>* merge_down(const std::vector<bool>* link_down,
+                                    const LinkOverlay* overlay,
+                                    std::vector<bool>& scratch) {
+  if (overlay == nullptr || overlay->down.empty()) return link_down;
+  if (link_down == nullptr) return &overlay->down;
+  scratch = *link_down;
+  for (std::size_t l = 0; l < scratch.size(); ++l) {
+    if (overlay->down[l]) scratch[l] = true;
+  }
+  return &scratch;
+}
+
+topo::CsrAdjacency make_overlay_csr(const topo::AsTopology& topo,
+                                    const LinkOverlay* overlay) {
+  return overlay != nullptr && !overlay->cost.empty()
+             ? topo.make_csr(&overlay->cost)
+             : topo.make_csr();
+}
+
+}  // namespace
+
 IgpState IgpState::compute(const topo::AsTopology& topo,
                            const std::vector<bool>* link_down,
-                           util::ThreadPool* pool) {
+                           util::ThreadPool* pool,
+                           const LinkOverlay* overlay) {
   // Call-site wall clock: nested per-source parallelism joins before the
   // span ends, so the duration covers the whole computation. The stage
   // span attributes it as SPF work of whichever cycle is current (no-op
@@ -318,11 +344,13 @@ IgpState IgpState::compute(const topo::AsTopology& topo,
       obs::registry().histogram("igp.compute_ns");
   const obs::ScopedTimer timer(duration);
 
-  const topo::CsrAdjacency csr = topo.make_csr();
+  const topo::CsrAdjacency csr = make_overlay_csr(topo, overlay);
+  std::vector<bool> merged;
+  const std::vector<bool>* mask = merge_down(link_down, overlay, merged);
   const std::size_t n = csr.router_count();
   std::vector<SourceRow> rows(n);
   util::parallel_for(pool, n, [&](std::size_t s) {
-    rows[s] = spf_source(csr, static_cast<topo::RouterId>(s), link_down);
+    rows[s] = spf_source(csr, static_cast<topo::RouterId>(s), mask);
   });
   computes.inc();
   sources.add(n);
@@ -333,7 +361,8 @@ IgpState IgpState::reconverge(const topo::AsTopology& topo,
                               const IgpState& baseline,
                               const std::vector<bool>& link_down,
                               util::ThreadPool* pool,
-                              ReconvergeStats* stats) {
+                              ReconvergeStats* stats,
+                              const LinkOverlay* overlay) {
   const obs::StageSpan span(obs::Stage::kSpf);
   static obs::Counter& recomputed =
       obs::registry().counter("igp.reconverge_sources_recomputed");
@@ -353,8 +382,13 @@ IgpState IgpState::reconverge(const topo::AsTopology& topo,
   std::vector<Down> downed;
   for (topo::LinkId l = 0; l < link_down.size(); ++l) {
     if (!link_down[l]) continue;
+    // Overlay-down links are already absent from the baseline; only the
+    // transient failures on top of it can perturb baseline shortest paths.
+    if (overlay != nullptr && overlay->is_down(l)) continue;
     const topo::Link& link = topo.link(l);
-    downed.push_back(Down{link.a, link.b, link.igp_cost});
+    const std::uint32_t cost =
+        overlay != nullptr ? overlay->cost_of(link) : link.igp_cost;
+    downed.push_back(Down{link.a, link.b, cost});
   }
 
   // A source is affected iff some downed link lies on one of its shortest
@@ -384,7 +418,7 @@ IgpState IgpState::reconverge(const topo::AsTopology& topo,
 
   std::vector<SourceRow> rows(n);
   if (n_affected > 0) {
-    const topo::CsrAdjacency csr = topo.make_csr();
+    const topo::CsrAdjacency csr = make_overlay_csr(topo, overlay);
     util::parallel_for(pool, n, [&](std::size_t s) {
       if (affected[s]) {
         rows[s] =
@@ -393,6 +427,89 @@ IgpState IgpState::reconverge(const topo::AsTopology& topo,
     });
   }
   return assemble(n, rows, &affected, &baseline);
+}
+
+IgpState IgpState::reconverge_delta(const topo::AsTopology& topo,
+                                    const IgpState& prev,
+                                    const LinkOverlay& prev_overlay,
+                                    const LinkOverlay& now_overlay,
+                                    util::ThreadPool* pool,
+                                    ReconvergeStats* stats) {
+  const obs::StageSpan span(obs::Stage::kSpf);
+  static obs::Counter& recomputed =
+      obs::registry().counter("igp.delta_sources_recomputed");
+  static obs::Counter& skipped =
+      obs::registry().counter("igp.delta_sources_skipped");
+  static obs::Counter& deltas = obs::registry().counter("igp.delta_reconverges");
+  static obs::Histogram& duration =
+      obs::registry().histogram("igp.delta_reconverge_ns");
+  const obs::ScopedTimer timer(duration);
+
+  const std::size_t n = prev.n_;
+  // Effective per-link state transition across the overlay change.
+  struct Change {
+    topo::RouterId a, b;
+    std::uint32_t was, now;  // kUnreachable = link absent
+  };
+  std::vector<Change> changes;
+  for (const topo::Link& link : topo.links()) {
+    const std::uint32_t was = prev_overlay.is_down(link.id)
+                                  ? kUnreachable
+                                  : prev_overlay.cost_of(link);
+    const std::uint32_t now = now_overlay.is_down(link.id)
+                                  ? kUnreachable
+                                  : now_overlay.cost_of(link);
+    if (was != now) changes.push_back(Change{link.a, link.b, was, now});
+  }
+
+  // A source is clean iff its previous row is still valid: no removed or
+  // repriced link was tight under its old distances (case a), and no added
+  // or cheapened link can reach an endpoint at <= its old distance (case
+  // b — `<=` also catches new equal-cost ties joining an ECMP set).
+  std::vector<std::uint8_t> affected(n, 0);
+  std::size_t n_affected = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::uint32_t* d = prev.dist_.data() + s * n;
+    for (const Change& c : changes) {
+      const std::uint32_t da = d[c.a];
+      const std::uint32_t db = d[c.b];
+      bool dirty = false;
+      if (c.was != kUnreachable) {
+        dirty = (da != kUnreachable && da + c.was == db) ||
+                (db != kUnreachable && db + c.was == da);
+      }
+      if (!dirty && c.now != kUnreachable &&
+          (c.was == kUnreachable || c.now < c.was)) {
+        dirty = (da != kUnreachable && (db == kUnreachable || da + c.now <= db)) ||
+                (db != kUnreachable && (da == kUnreachable || db + c.now <= da));
+      }
+      if (dirty) {
+        affected[s] = 1;
+        ++n_affected;
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->sources_total = n;
+    stats->sources_recomputed = n_affected;
+  }
+  deltas.inc();
+  recomputed.add(n_affected);
+  skipped.add(n - n_affected);
+
+  std::vector<SourceRow> rows(n);
+  if (n_affected > 0) {
+    const topo::CsrAdjacency csr = make_overlay_csr(topo, &now_overlay);
+    const std::vector<bool>* mask =
+        now_overlay.down.empty() ? nullptr : &now_overlay.down;
+    util::parallel_for(pool, n, [&](std::size_t s) {
+      if (affected[s]) {
+        rows[s] = spf_source(csr, static_cast<topo::RouterId>(s), mask);
+      }
+    });
+  }
+  return assemble(n, rows, &affected, &prev);
 }
 
 std::uint64_t IgpState::path_count(topo::RouterId src, topo::RouterId dst,

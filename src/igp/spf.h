@@ -37,6 +37,36 @@ struct NextHop {
 
 inline constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
 
+// Persistent per-cycle topology overlay: the long-lived link/router deltas
+// that distinguish one monthly cycle's world from the base topology (as
+// opposed to the transient intra-month failures `apply_flaps` layers on
+// top). Canonical form: each vector is either empty (no deltas of that
+// kind) or sized to the AS link count. `down[l]` removes link l entirely;
+// `cost[l] != 0` overrides its IGP metric. Value-comparable so cycle
+// evolution can detect per-AS overlay changes cheaply.
+struct LinkOverlay {
+  std::vector<bool> down;
+  std::vector<std::uint32_t> cost;  // 0 = keep the base metric
+
+  bool is_down(topo::LinkId l) const noexcept {
+    return !down.empty() && down[l];
+  }
+  std::uint32_t cost_of(const topo::Link& link) const noexcept {
+    return !cost.empty() && cost[link.id] != 0 ? cost[link.id] : link.igp_cost;
+  }
+  bool trivial() const noexcept {
+    for (const bool d : down) {
+      if (d) return false;
+    }
+    for (const std::uint32_t c : cost) {
+      if (c != 0) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const LinkOverlay&, const LinkOverlay&) = default;
+};
+
 namespace detail {
 struct SourceRow;  // per-source SPF scratch (spf.cpp)
 }
@@ -81,11 +111,14 @@ class IgpState {
 
   // Runs Dijkstra from every router. O(R * (L log R)). When `link_down` is
   // given (indexed by LinkId), those links are excluded — the state after an
-  // IGP reconvergence around failed links. When `pool` is given, sources are
-  // computed in parallel; output is byte-identical at any thread count.
+  // IGP reconvergence around failed links. When `overlay` is given, its
+  // down links are excluded too and its cost overrides replace base link
+  // metrics. When `pool` is given, sources are computed in parallel; output
+  // is byte-identical at any thread count.
   static IgpState compute(const topo::AsTopology& topo,
                           const std::vector<bool>* link_down = nullptr,
-                          util::ThreadPool* pool = nullptr);
+                          util::ThreadPool* pool = nullptr,
+                          const LinkOverlay* overlay = nullptr);
 
   // Incremental reconvergence: equivalent to `compute(topo, &link_down)`
   // given a `baseline` computed on the same topology with no links down,
@@ -95,11 +128,32 @@ class IgpState {
   // from the baseline. Removing links that carry none of s's shortest paths
   // changes neither s's distances nor its ECMP sets, so the result is
   // byte-identical to a full recompute.
+  // When `overlay` is given, `baseline` must have been computed under that
+  // same overlay (`compute(topo, nullptr, pool, overlay)`), and `link_down`
+  // must be the *full* down set including the overlay's own down links; the
+  // tight-link test then skips overlay-down links (already absent from the
+  // baseline) and prices the rest with the overlay's cost overrides.
   static IgpState reconverge(const topo::AsTopology& topo,
                              const IgpState& baseline,
                              const std::vector<bool>& link_down,
                              util::ThreadPool* pool = nullptr,
-                             ReconvergeStats* stats = nullptr);
+                             ReconvergeStats* stats = nullptr,
+                             const LinkOverlay* overlay = nullptr);
+
+  // Cross-cycle incremental reconvergence: given `prev` computed under
+  // `prev_overlay`, produce the state under `now_overlay`, recomputing only
+  // sources the overlay transition can affect. A source must be recomputed
+  // iff (a) a removed/worsened link was tight under its previous distances
+  // (it carried one of the source's shortest paths), or (b) an added/
+  // cheapened link could now reach a destination at <= its previous
+  // distance (shorter path or new ECMP tie). Every other source's row is
+  // byte-identical to a full recompute and is copied from `prev`.
+  static IgpState reconverge_delta(const topo::AsTopology& topo,
+                                   const IgpState& prev,
+                                   const LinkOverlay& prev_overlay,
+                                   const LinkOverlay& now_overlay,
+                                   util::ThreadPool* pool = nullptr,
+                                   ReconvergeStats* stats = nullptr);
 
   RouterRib rib(topo::RouterId r) const {
     return RouterRib(dist_.data() + static_cast<std::size_t>(r) * n_,
@@ -113,6 +167,9 @@ class IgpState {
   // DAG: O(V + E) regardless of how many paths the DAG encodes.
   std::uint64_t path_count(topo::RouterId src, topo::RouterId dst,
                            std::uint64_t cap = 1u << 20) const;
+
+  // Whole-state equality (test oracle for incremental reconvergence).
+  friend bool operator==(const IgpState&, const IgpState&) = default;
 
  private:
   // Concatenates per-source rows (fresh, or copied from `baseline` where

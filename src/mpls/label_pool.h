@@ -40,6 +40,24 @@ class LabelPool {
   // (this wrap is what produces the sawtooth of Fig. 17).
   std::uint32_t allocate() noexcept;
 
+  // Snapshot of the allocation counter. Cycle evolution rewinds pools to a
+  // saved state instead of reconstructing them, so a re-signalled control
+  // plane draws exactly the label sequence a from-scratch build would.
+  struct State {
+    std::uint32_t next = net::kLabelFirstUnreserved;
+    std::uint64_t count = 0;
+  };
+  State state() const noexcept { return State{next_, count_}; }
+  void restore(const State& s) noexcept {
+    next_ = s.next;
+    count_ = s.count;
+  }
+
+  // Advance the counter as if `n` labels had been handed out and discarded:
+  // allocation-history drift between LSP re-signalling epochs (the paper's
+  // Fig. 17 label motion), in O(1) regardless of n.
+  void burn(std::uint64_t n) noexcept;
+
   // Number of labels handed out so far.
   std::uint64_t allocated() const noexcept { return count_; }
   const LabelRange& range() const noexcept { return range_; }

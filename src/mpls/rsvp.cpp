@@ -32,22 +32,58 @@ std::vector<topo::LinkId> RsvpTePlane::compute_route(
   return route;
 }
 
-void RsvpTePlane::sign_along(TeLsp& lsp,
-                             const std::vector<topo::LinkId>& route,
-                             std::vector<LabelPool>& pools) {
-  lsp.hops.clear();
-  topo::RouterId at = lsp.ingress;
+bool operator==(std::span<const TeHop> a, std::span<const TeHop> b) noexcept {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+std::span<const TeHop> RsvpTePlane::sign_route(
+    topo::RouterId ingress, topo::RouterId egress,
+    const std::vector<topo::LinkId>& route, std::vector<LabelPool>& pools) {
+  // Hop storage is bump-allocated: the pristine build fills the base arena,
+  // post-pristine re-signalling fills the per-cycle scratch arena.
+  util::Arena& arena = pristine_marked_ ? scratch_arena_ : base_arena_;
+  const std::span<TeHop> hops = arena.make_array<TeHop>(route.size());
+  topo::RouterId at = ingress;
+  std::size_t i = 0;
   for (const topo::LinkId lid : route) {
     const topo::RouterId next = topo_->link(lid).other(at);
-    TeHop hop;
+    TeHop& hop = hops[i++];
     hop.router = next;
     hop.in_link = lid;
-    const bool is_egress = (next == lsp.egress);
+    const bool is_egress = (next == egress);
     hop.in_label = (is_egress && config_.php) ? net::kLabelImplicitNull
                                               : pools[next].allocate();
-    lsp.hops.push_back(hop);
     at = next;
   }
+  return hops;
+}
+
+void RsvpTePlane::save_undo(const TeLsp& lsp) {
+  if (!pristine_marked_ || saved_epoch_[lsp.id] == epoch_) return;
+  saved_epoch_[lsp.id] = epoch_;
+  undo_.push_back(Undo{lsp.id, lsp.hops, lsp.resignal_count, lsp.on_backup});
+}
+
+void RsvpTePlane::mark_pristine() {
+  pristine_marked_ = true;
+  pristine_lsp_count_ = lsps_.size();
+  saved_epoch_.assign(lsps_.size(), 0);
+  undo_.clear();
+  epoch_ = 1;
+}
+
+void RsvpTePlane::restore_pristine() {
+  if (!pristine_marked_) return;
+  for (const Undo& u : undo_) {
+    TeLsp& lsp = lsps_[u.id];
+    lsp.hops = u.hops;
+    lsp.resignal_count = u.resignal_count;
+    lsp.on_backup = u.on_backup;
+  }
+  undo_.clear();
+  ++epoch_;
+  lsps_.resize(pristine_lsp_count_);
+  scratch_arena_.reset();
 }
 
 std::vector<LspId> RsvpTePlane::signal(topo::RouterId ingress,
@@ -67,7 +103,7 @@ std::vector<LspId> RsvpTePlane::signal(topo::RouterId ingress,
     lsp.id = static_cast<LspId>(lsps_.size());
     lsp.ingress = ingress;
     lsp.egress = egress;
-    sign_along(lsp, route, pools);
+    lsp.hops = sign_route(ingress, egress, route, pools);
     if (config_.frr) {
       // Pre-signal a maximally link-disjoint backup: search route variants
       // for the one sharing the fewest links with the primary.
@@ -88,11 +124,7 @@ std::vector<LspId> RsvpTePlane::signal(topo::RouterId ingress,
         if (shared == 0) break;
       }
       if (!best.empty() && best_shared < route.size()) {
-        TeLsp backup_holder;
-        backup_holder.ingress = ingress;
-        backup_holder.egress = egress;
-        sign_along(backup_holder, best, pools);
-        lsp.backup_hops = std::move(backup_holder.hops);
+        lsp.backup_hops = sign_route(ingress, egress, best, pools);
       }
     }
     ids.push_back(lsp.id);
@@ -106,7 +138,8 @@ void RsvpTePlane::resignal_over(LspId id,
                                 std::vector<LabelPool>& pools) {
   if (route.empty()) return;
   TeLsp& lsp = lsps_.at(id);
-  sign_along(lsp, route, pools);
+  save_undo(lsp);
+  lsp.hops = sign_route(lsp.ingress, lsp.egress, route, pools);
   lsp.on_backup = false;
   ++lsp.resignal_count;
 }
@@ -126,12 +159,15 @@ bool RsvpTePlane::activate_backup(LspId id,
   for (const TeHop& hop : lsp.backup_hops) {
     if (link_down[hop.in_link]) return false;  // backup broken too
   }
+  save_undo(lsp);
   lsp.on_backup = true;
   return true;
 }
 
 void RsvpTePlane::revert_to_primary(LspId id) {
-  lsps_.at(id).on_backup = false;
+  TeLsp& lsp = lsps_.at(id);
+  save_undo(lsp);
+  lsp.on_backup = false;
 }
 
 void RsvpTePlane::reoptimize(LspId id, std::vector<LabelPool>& pools) {
@@ -139,7 +175,8 @@ void RsvpTePlane::reoptimize(LspId id, std::vector<LabelPool>& pools) {
   std::vector<topo::LinkId> route;
   route.reserve(lsp.hops.size());
   for (const TeHop& hop : lsp.hops) route.push_back(hop.in_link);
-  sign_along(lsp, route, pools);
+  save_undo(lsp);
+  lsp.hops = sign_route(lsp.ingress, lsp.egress, route, pools);
   ++lsp.resignal_count;
 }
 

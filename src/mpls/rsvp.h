@@ -14,12 +14,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "igp/spf.h"
 #include "mpls/label_pool.h"
 #include "topo/topology.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace mum::mpls {
@@ -36,23 +38,30 @@ struct TeHop {
   friend bool operator==(const TeHop&, const TeHop&) = default;
 };
 
+// Deep element-wise comparison for hop sequences. TeLsp stores hop views
+// into the owning plane's arenas; two views are "the same path" when their
+// contents match, wherever they are stored.
+bool operator==(std::span<const TeHop> a, std::span<const TeHop> b) noexcept;
+
 struct TeLsp {
   LspId id = 0;
   topo::RouterId ingress = topo::kInvalidRouter;
   topo::RouterId egress = topo::kInvalidRouter;
   // Hops strictly after the ingress, in order; the last entry is the egress
-  // (its in_label is implicit-null when PHP applies).
-  std::vector<TeHop> hops;
+  // (its in_label is implicit-null when PHP applies). Views into the owning
+  // RsvpTePlane's hop arenas; valid for the plane's lifetime (re-signalling
+  // repoints the view, it never frees the old storage mid-cycle).
+  std::span<const TeHop> hops;
   // Pre-signalled fast-reroute backup (RFC 4090): a maximally link-disjoint
   // path with its own labels, ready before any failure. Empty when FRR is
   // off or no disjoint route exists.
-  std::vector<TeHop> backup_hops;
+  std::span<const TeHop> backup_hops;
   // How many times this LSP has been re-signalled.
   std::uint32_t resignal_count = 0;
   // True while traffic rides the backup path.
   bool on_backup = false;
 
-  const std::vector<TeHop>& active_hops() const noexcept {
+  std::span<const TeHop> active_hops() const noexcept {
     return on_backup && !backup_hops.empty() ? backup_hops : hops;
   }
 };
@@ -117,14 +126,51 @@ class RsvpTePlane {
                                           topo::RouterId egress,
                                           std::uint32_t variant) const;
 
+  // --- cycle-evolution support (gen::DeltaEvolver / MonthContext) ---
+  //
+  // mark_pristine() freezes the fully signalled start-of-month control plane
+  // as the rollback baseline. Later mutations (reoptimize, resignal_over,
+  // backup activation) record a one-shot undo entry per LSP and draw their
+  // hop storage from a scratch arena; restore_pristine() rolls every LSP
+  // back and resets the scratch arena, so a steady month-over-month workload
+  // stops allocating once the scratch high-water mark is reached.
+  void mark_pristine();
+  void restore_pristine();
+
+  // Arena the post-pristine mutations allocate from (capacity observability
+  // for the no-growth gate in tests).
+  const util::Arena& scratch_arena() const noexcept { return scratch_arena_; }
+
  private:
-  void sign_along(TeLsp& lsp, const std::vector<topo::LinkId>& route,
-                  std::vector<LabelPool>& pools);
+  std::span<const TeHop> sign_route(topo::RouterId ingress,
+                                    topo::RouterId egress,
+                                    const std::vector<topo::LinkId>& route,
+                                    std::vector<LabelPool>& pools);
+  // Record the pre-mutation state of `lsp` once per restore epoch.
+  void save_undo(const TeLsp& lsp);
 
   const topo::AsTopology* topo_;
   const igp::IgpState* igp_;
   RsvpConfig config_;
   std::vector<TeLsp> lsps_;
+
+  // Hop storage: signalling before mark_pristine() fills base_arena_ (lives
+  // until the plane dies); mutations after it fill scratch_arena_ (reset on
+  // every restore_pristine()).
+  util::Arena base_arena_{16 * 1024};
+  util::Arena scratch_arena_{16 * 1024};
+  bool pristine_marked_ = false;
+
+  struct Undo {
+    LspId id = 0;
+    std::span<const TeHop> hops;
+    std::uint32_t resignal_count = 0;
+    bool on_backup = false;
+  };
+  std::vector<Undo> undo_;
+  std::vector<std::uint32_t> saved_epoch_;  // per LSP; == epoch_ once saved
+  std::uint32_t epoch_ = 1;
+  std::size_t pristine_lsp_count_ = 0;
 };
 
 }  // namespace mum::mpls

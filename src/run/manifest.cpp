@@ -54,6 +54,7 @@ std::string RunManifest::to_json() const {
   json.field("first_cycle", first_cycle + 1);  // 1-based, as the paper counts
   json.field("last_cycle", last_cycle + 1);
   json.field("threads", static_cast<std::uint64_t>(threads));
+  json.field("evolve", evolve);
   json.field("wall_ns", wall_ns);
   json.field("peak_rss_bytes", peak_rss_bytes);
   json.field("complete", complete());
@@ -84,6 +85,28 @@ std::string RunManifest::to_json() const {
                        "_ns",
                    status.stages.ns[s]);
       }
+      json.end_object();
+    }
+    if (status.delta.cycle >= 0) {
+      const gen::CycleDeltaStats& d = status.delta;
+      json.key("delta");
+      json.begin_object();
+      json.field("full_build", d.full_build);
+      json.field("ases_total", static_cast<std::uint64_t>(d.ases_total));
+      json.field("ases_rebuilt", static_cast<std::uint64_t>(d.ases_rebuilt));
+      json.field("ases_te_rebuilt",
+                 static_cast<std::uint64_t>(d.ases_te_rebuilt));
+      json.field("ases_restored",
+                 static_cast<std::uint64_t>(d.ases_restored));
+      json.field("links_down", static_cast<std::uint64_t>(d.links_down));
+      json.field("links_cost_changed",
+                 static_cast<std::uint64_t>(d.links_cost_changed));
+      json.field("spf_sources_total",
+                 static_cast<std::uint64_t>(d.spf_sources_total));
+      json.field("spf_sources_recomputed",
+                 static_cast<std::uint64_t>(d.spf_sources_recomputed));
+      json.field("lsps_signalled",
+                 static_cast<std::uint64_t>(d.lsps_signalled));
       json.end_object();
     }
     if (!status.error.empty()) json.field("error", status.error);

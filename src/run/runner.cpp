@@ -60,21 +60,28 @@ gen::CampaignConfig Runner::campaign_for(int cycle) const {
 }
 
 dataset::MonthData Runner::month_data(int cycle) const {
-  return gen::CampaignRunner(internet_, ip2as_, campaign_for(cycle),
-                             pool_.get())
-      .month(cycle);
+  return month_data(cycle, nullptr);
+}
+
+dataset::MonthData Runner::month_data(int cycle,
+                                      gen::DeltaEvolver* evolver) const {
+  gen::CampaignRunner campaign(internet_, ip2as_, campaign_for(cycle),
+                               pool_.get());
+  return evolver != nullptr ? campaign.month(*evolver, cycle)
+                            : campaign.month(cycle);
 }
 
 lpr::CycleReport Runner::run_cycle(int cycle) const {
   return run_cycle_chaos(cycle, nullptr);
 }
 
-dataset::MonthData Runner::prepare_month(
-    int cycle, chaos::Corruptor* corruptor,
-    dataset::DecodeDiagnostics* decode) const {
+dataset::MonthData Runner::prepare_month(int cycle,
+                                         chaos::Corruptor* corruptor,
+                                         dataset::DecodeDiagnostics* decode,
+                                         gen::DeltaEvolver* evolver) const {
   dataset::MonthData month = [&] {
     const obs::StageSpan span(obs::Stage::kGenerate, cycle);
-    return month_data(cycle);
+    return month_data(cycle, evolver);
   }();
   if (corruptor != nullptr) {
     // Chaos wire round-trips run the real ingest path — that time is
@@ -118,9 +125,11 @@ dataset::MonthData Runner::prepare_month(
 }
 
 lpr::CycleReport Runner::run_cycle_chaos(int cycle,
-                                         chaos::Corruptor* corruptor) const {
+                                         chaos::Corruptor* corruptor,
+                                         gen::DeltaEvolver* evolver) const {
   dataset::DecodeDiagnostics decode;
-  const dataset::MonthData month = prepare_month(cycle, corruptor, &decode);
+  const dataset::MonthData month =
+      prepare_month(cycle, corruptor, &decode, evolver);
   const obs::StageSpan span(obs::Stage::kClassify, cycle);
   lpr::CycleReport report =
       lpr::run_pipeline(month, ip2as_, config_.pipeline, pool_.get());
@@ -162,18 +171,27 @@ lpr::LongitudinalReport Runner::run_all() const {
 
   lpr::LongitudinalReport report;
   report.cycles.resize(n);
-  // Each cycle fills its own slot; inner generation/classification runs
-  // inline on the worker (nested parallel_for detects the region), so the
-  // pool is never oversubscribed.
-  util::parallel_for(pool_.get(), n, [&](std::size_t i) {
+  const auto run_one = [&](std::size_t i, gen::DeltaEvolver* evolver) {
     const int cycle = first + static_cast<int>(i);
     const std::uint64_t t0 = obs::monotonic_ns();
-    report.cycles[i] = run_cycle(cycle);
+    report.cycles[i] = run_cycle_chaos(cycle, nullptr, evolver);
     if (obs::TraceLog* t = obs::trace()) {
       t->span("cycle", cycle, t0, obs::monotonic_ns() - t0);
     }
     log_cycle_progress(cycle, nullptr);
-  });
+  };
+  if (config_.evolve) {
+    // Delta evolution: cycles advance one standing world in order; inner
+    // stages (monitor fan-out, SPF, classification) still use the pool.
+    gen::DeltaEvolver evolver(internet_, pool_.get());
+    for (std::size_t i = 0; i < n; ++i) run_one(i, &evolver);
+  } else {
+    // Each cycle fills its own slot; inner generation/classification runs
+    // inline on the worker (nested parallel_for detects the region), so the
+    // pool is never oversubscribed.
+    util::parallel_for(pool_.get(), n,
+                       [&](std::size_t i) { run_one(i, nullptr); });
+  }
   return report;
 }
 
@@ -189,6 +207,7 @@ RunOutcome Runner::run_all_contained() const {
   out.manifest.first_cycle = first;
   out.manifest.last_cycle = last;
   out.manifest.threads = threads();
+  out.manifest.evolve = config_.evolve;
   out.manifest.cycles.resize(n);
 
   const bool data_chaos =
@@ -199,7 +218,7 @@ RunOutcome Runner::run_all_contained() const {
   std::atomic<bool> budget_exceeded{false};
   std::atomic<int> failures{0};
 
-  util::parallel_for(pool_.get(), n, [&](std::size_t i) {
+  const auto run_one = [&](std::size_t i, gen::DeltaEvolver* evolver) {
     const int cycle = first + static_cast<int>(i);
     CycleStatus& status = out.manifest.cycles[i];
     status.cycle = cycle;
@@ -251,7 +270,7 @@ RunOutcome Runner::run_all_contained() const {
           // shards carry the post-chaos data (what the pipeline saw).
           dataset::DecodeDiagnostics decode;
           const dataset::MonthData month = prepare_month(
-              cycle, data_chaos ? &corruptor : nullptr, &decode);
+              cycle, data_chaos ? &corruptor : nullptr, &decode, evolver);
           {
             const obs::StageSpan span(obs::Stage::kReport, cycle);
             for (std::size_t sub = 0; sub < month.snapshots.size(); ++sub) {
@@ -266,9 +285,11 @@ RunOutcome Runner::run_all_contained() const {
           }
           slot.decode = std::move(decode);
         } else {
-          slot = run_cycle_chaos(cycle, data_chaos ? &corruptor : nullptr);
+          slot = run_cycle_chaos(cycle, data_chaos ? &corruptor : nullptr,
+                                 evolver);
         }
         status.outcome = CycleOutcome::kOk;
+        if (evolver != nullptr) status.delta = evolver->last_stats();
         if (checkpoints) {
           const obs::StageSpan span(obs::Stage::kReport, cycle);
           write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
@@ -311,7 +332,18 @@ RunOutcome Runner::run_all_contained() const {
     if (status.outcome != CycleOutcome::kSkipped) {
       log_cycle_progress(cycle, to_cstring(status.outcome));
     }
-  });
+  };
+
+  if (config_.evolve) {
+    // Delta evolution runs the cycle loop serially against one standing
+    // world; checkpoint-restored cycles skip generation entirely and the
+    // evolver jumps the gap when the next computed cycle asks for it.
+    gen::DeltaEvolver evolver(internet_, pool_.get());
+    for (std::size_t i = 0; i < n; ++i) run_one(i, &evolver);
+  } else {
+    util::parallel_for(pool_.get(), n,
+                       [&](std::size_t i) { run_one(i, nullptr); });
+  }
 
   out.manifest.failure_budget_exceeded =
       budget_exceeded.load(std::memory_order_acquire);

@@ -40,6 +40,14 @@ struct RunnerConfig {
   // Worker threads for cycle- and monitor-level parallelism: 0 = one per
   // hardware thread, 1 = fully serial. Output is identical either way.
   int threads = 0;
+  // Delta-based cycle evolution (the default): cycles run in order against
+  // one standing world, each cycle a mutation of the previous one (pristine
+  // rollback + seed-keyed per-cycle deltas through incremental SPF and
+  // TE-only re-signalling). Inner stages still parallelize over the pool.
+  // Off = from-scratch instantiate per cycle, cycles fan out across the
+  // pool. Reports are byte-identical either way, at any thread count — the
+  // full rebuild is the delta path's oracle.
+  bool evolve = true;
 
   // --- fault injection & containment (run_all_contained only) -----------
   // Chaos faults injected into each cycle's data (off by default). When
@@ -120,10 +128,14 @@ class Runner {
   // snapshots in place; wire faults round-trip them through serialization
   // (in config.snapshot_format) and tolerant decode, re-annotating
   // survivors, with the decoder's diagnostics accumulated into `decode`.
+  // `evolver`, when given, generates the month against the standing evolved
+  // world instead of a from-scratch instantiate (byte-identical output).
+  dataset::MonthData month_data(int cycle, gen::DeltaEvolver* evolver) const;
   dataset::MonthData prepare_month(int cycle, chaos::Corruptor* corruptor,
-                                   dataset::DecodeDiagnostics* decode) const;
-  lpr::CycleReport run_cycle_chaos(int cycle,
-                                   chaos::Corruptor* corruptor) const;
+                                   dataset::DecodeDiagnostics* decode,
+                                   gen::DeltaEvolver* evolver = nullptr) const;
+  lpr::CycleReport run_cycle_chaos(int cycle, chaos::Corruptor* corruptor,
+                                   gen::DeltaEvolver* evolver = nullptr) const;
   // Re-ingest a cycle's persisted data shards (strict decode, magic-sniffed
   // per shard) and run the pipeline on them. nullopt when shards are
   // missing or undecodable — the caller recomputes from generation.

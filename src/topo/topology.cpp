@@ -53,7 +53,8 @@ RouterId AsTopology::router_of_addr(net::Ipv4Addr addr) const {
   return it == addr_to_router_.end() ? kInvalidRouter : it->second;
 }
 
-CsrAdjacency AsTopology::make_csr() const {
+CsrAdjacency AsTopology::make_csr(
+    const std::vector<std::uint32_t>* cost_override) const {
   CsrAdjacency csr;
   csr.offsets_.resize(routers_.size() + 1);
   csr.arcs_.reserve(links_.size() * 2);
@@ -62,8 +63,12 @@ CsrAdjacency AsTopology::make_csr() const {
     // adjacency_ lists are filled in add_link order, i.e. ascending LinkId.
     for (const LinkId lid : adjacency_[r]) {
       const Link& l = links_[lid];
-      csr.arcs_.push_back(CsrArc{lid, l.other(r), l.igp_cost});
-      csr.max_cost_ = std::max(csr.max_cost_, l.igp_cost);
+      std::uint32_t cost = l.igp_cost;
+      if (cost_override != nullptr && (*cost_override)[lid] != 0) {
+        cost = (*cost_override)[lid];
+      }
+      csr.arcs_.push_back(CsrArc{lid, l.other(r), cost});
+      csr.max_cost_ = std::max(csr.max_cost_, cost);
     }
   }
   csr.offsets_.back() = static_cast<std::uint32_t>(csr.arcs_.size());

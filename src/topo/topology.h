@@ -127,7 +127,10 @@ class AsTopology {
   RouterId router_of_addr(net::Ipv4Addr addr) const;
 
   // CSR adjacency snapshot of the current link set (see CsrAdjacency).
-  CsrAdjacency make_csr() const;
+  // `cost_override` (indexed by LinkId; 0 = keep base metric) prices arcs
+  // with per-cycle metric overrides without mutating the topology.
+  CsrAdjacency make_csr(
+      const std::vector<std::uint32_t>* cost_override = nullptr) const;
 
   // Number of distinct links between a and b (parallel-link width).
   std::size_t parallel_degree(RouterId a, RouterId b) const;

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace mum::util {
+
+// Chunked bump allocator for per-cycle object churn (LSP hop vectors,
+// scratch work lists). Allocation is a pointer bump; there is no per-object
+// free. reset() rewinds to empty while *retaining* every chunk, so a steady
+// per-cycle workload reaches a capacity high-water mark once and then stops
+// allocating from the OS entirely — the property tests/test_evolve gates.
+//
+// Lifetime rule: objects live until the owning arena is reset or destroyed.
+// Only trivially-destructible element types are allowed (no destructors run).
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t min_chunk_bytes = kDefaultChunkBytes) noexcept
+      : min_chunk_(min_chunk_bytes ? min_chunk_bytes : kDefaultChunkBytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  template <class T>
+  std::span<T> make_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    if (n == 0) return {};
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    std::uninitialized_value_construct_n(p, n);
+    return {p, n};
+  }
+
+  template <class T>
+  std::span<T> copy_array(std::span<const T> src) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (src.empty()) return {};
+    T* p = static_cast<T*>(allocate(src.size_bytes(), alignof(T)));
+    std::memcpy(p, src.data(), src.size_bytes());
+    return {p, src.size()};
+  }
+
+  // Rewind to empty; all chunks are kept for reuse.
+  void reset() noexcept {
+    if (used_ > high_water_) high_water_ = used_;
+    chunk_ = 0;
+    offset_ = 0;
+    used_ = 0;
+  }
+
+  // Sum of chunk sizes currently held (never shrinks).
+  std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  // Bytes handed out since the last reset (including alignment padding).
+  std::size_t used() const noexcept { return used_; }
+  // Max used() observed across resets so far.
+  std::size_t high_water() const noexcept {
+    return used_ > high_water_ ? used_ : high_water_;
+  }
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   // index of the chunk being bumped
+  std::size_t offset_ = 0;  // bump cursor within chunks_[chunk_]
+  std::size_t min_chunk_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+inline void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (chunk_ < chunks_.size()) {
+    Chunk& c = chunks_[chunk_];
+    const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+    if (aligned + bytes <= c.size) {
+      void* p = c.data.get() + aligned;
+      used_ += (aligned - offset_) + bytes;
+      offset_ = aligned + bytes;
+      return p;
+    }
+  }
+  return allocate_slow(bytes, align);
+}
+
+// Growable array carved from an Arena. Growth abandons the old block in the
+// arena (reclaimed wholesale at the next reset) — the right trade for scratch
+// lists that are rebuilt every cycle. Elements must be trivially copyable.
+template <class T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                std::is_trivially_destructible_v<T>);
+
+ public:
+  explicit ArenaVector(Arena& arena, std::size_t initial_capacity = 0) noexcept
+      : arena_(&arena), capacity_(initial_capacity) {
+    if (capacity_ > 0) data_ = arena_->make_array<T>(capacity_).data();
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow();
+    data_[size_++] = v;
+  }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+  std::span<const T> span() const noexcept { return {data_, size_}; }
+  void clear() noexcept { size_ = 0; }  // keeps the current block
+
+ private:
+  void grow() {
+    const std::size_t next = capacity_ ? capacity_ * 2 : 8;
+    T* fresh = arena_->make_array<T>(next).data();
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace mum::util

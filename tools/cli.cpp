@@ -1,5 +1,6 @@
 #include "cli.h"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -123,6 +124,82 @@ std::optional<std::uint8_t> parse_format(const std::string& text) {
   if (text == "v2" || text == "2") return dataset::kWartsLiteVersion;
   if (text == "v3" || text == "3") return dataset::kPackVersion;
   return std::nullopt;
+}
+
+// --scale routers=N[,lsps=M]: world-size targets; k/m suffixes accepted
+// (routers=100k, lsps=1m). Returns false + error message on bad input.
+bool parse_scale_spec(const std::string& text, gen::GenConfig& gen,
+                      std::string* error) {
+  for (const std::string_view part : util::split(text, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      *error = "--scale expects key=value pairs, got '" + std::string(part) +
+               "'";
+      return false;
+    }
+    const std::string key(part.substr(0, eq));
+    std::string value(part.substr(eq + 1));
+    std::uint64_t mult = 1;
+    if (!value.empty() && (value.back() == 'k' || value.back() == 'K')) {
+      mult = 1000;
+      value.pop_back();
+    } else if (!value.empty() && (value.back() == 'm' || value.back() == 'M')) {
+      mult = 1000000;
+      value.pop_back();
+    }
+    const auto parsed = util::parse_u64(value);
+    if (!parsed) {
+      *error = "--scale " + key + " expects an integer, got '" +
+               std::string(part.substr(eq + 1)) + "'";
+      return false;
+    }
+    if (key == "routers") {
+      gen.scale_routers = *parsed * mult;
+    } else if (key == "lsps") {
+      gen.scale_lsps = *parsed * mult;
+    } else {
+      *error = "--scale knows routers=/lsps=, got '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+// --churn link=P,metric=P,router=P,resignal=P: per-cycle delta
+// probabilities (plain decimals, e.g. link=0.02).
+bool parse_churn_spec(const std::string& text, gen::GenConfig& gen,
+                      std::string* error) {
+  for (const std::string_view part : util::split(text, ',')) {
+    const auto eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      *error = "--churn expects key=value pairs, got '" + std::string(part) +
+               "'";
+      return false;
+    }
+    const std::string key(part.substr(0, eq));
+    const std::string value(part.substr(eq + 1));
+    char* end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      *error = "--churn " + key + " expects a probability in [0,1], got '" +
+               value + "'";
+      return false;
+    }
+    if (key == "link") {
+      gen.churn.link_down_prob = p;
+    } else if (key == "metric") {
+      gen.churn.metric_change_prob = p;
+    } else if (key == "router") {
+      gen.churn.router_down_prob = p;
+    } else if (key == "resignal") {
+      gen.churn.te_resignal_prob = p;
+    } else {
+      *error = "--churn knows link=/metric=/router=/resignal=, got '" + key +
+               "'";
+      return false;
+    }
+  }
+  return true;
 }
 
 std::optional<dataset::Ip2As> load_ip2as(const std::string& path,
@@ -519,6 +596,9 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
   const auto format_spec = args.take_value("--format");
   const auto telemetry = args.take_eq_flag("--telemetry");
   const auto trace_out = args.take_value("--trace-out");
+  const auto evolve_spec = args.take_value("--evolve");
+  const auto scale_spec = args.take_value("--scale");
+  const auto churn_spec = args.take_value("--churn");
   if (!args.ok()) {
     err << args.error() << '\n';
     return kExitUsage;
@@ -539,6 +619,30 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
 
   run::RunnerConfig config;
   config.gen.seed = static_cast<std::uint64_t>(seed);
+  if (evolve_spec) {
+    if (*evolve_spec == "on") {
+      config.evolve = true;
+    } else if (*evolve_spec == "off") {
+      config.evolve = false;
+    } else {
+      err << "--evolve must be on or off, got '" << *evolve_spec << "'\n";
+      return kExitUsage;
+    }
+  }
+  if (scale_spec) {
+    std::string error;
+    if (!parse_scale_spec(*scale_spec, config.gen, &error)) {
+      err << error << '\n';
+      return kExitUsage;
+    }
+  }
+  if (churn_spec) {
+    std::string error;
+    if (!parse_churn_spec(*churn_spec, config.gen, &error)) {
+      err << error << '\n';
+      return kExitUsage;
+    }
+  }
   if (small) {
     config.gen.background_transit = 8;
     config.gen.stub_ases = 12;
@@ -675,6 +779,8 @@ std::string usage() {
       "  stats     SNAP [SNAP...] [--tolerant | --strict]\n"
       "                           dataset-level statistics\n"
       "  campaign  [--cycles N] [--seed S] [--small] [--threads N]\n"
+      "            [--evolve on|off] [--scale routers=N[,lsps=M]]\n"
+      "            [--churn link=P,metric=P,router=P,resignal=P]\n"
       "            [--chaos SPEC] [--keep-going] [--failure-budget N]\n"
       "            [--checkpoints DIR] [--resume DIR] [--checkpoint-data]\n"
       "            [--format v2|v3] [--json] [--quiet | --verbose]\n"
@@ -690,6 +796,11 @@ std::string usage() {
       "'flip=0.01,blackout=5%,fail=0.1,seed=7'.\n"
       "--threads 0 (the default) uses one thread per hardware thread; any\n"
       "value produces identical output (deterministic parallelism).\n"
+      "--evolve on (the default) advances one standing world cycle to cycle\n"
+      "(delta evolution); off rebuilds each cycle from scratch. Reports are\n"
+      "byte-identical either way. --scale sizes the world (k/m suffixes:\n"
+      "routers=100k,lsps=1m); --churn adds per-cycle topology/label deltas\n"
+      "as probabilities (e.g. link=0.02,resignal=0.1).\n"
       "--quiet silences progress, --verbose adds per-cycle detail (both on\n"
       "stderr). --telemetry dumps the metrics registry at end of run (to\n"
       "stderr, or FILE with =FILE); --trace-out writes a JSONL event log.\n"
