@@ -1,0 +1,295 @@
+// Measurement-path throughput: observation -> trace storage -> annotate ->
+// pack serialization -> ingest, legacy heap Traces vs the arena-backed SoA
+// TraceBatch (DESIGN.md Sec. 14). Forwarding walks are precomputed once —
+// the network simulation is the workload's input, not the measurement path
+// this PR optimizes — so the gated pair isolates exactly the stages the
+// batch rebuild touched. Reports traces/s (SetItemsProcessed) and heap
+// allocations per trace via a global operator-new counting hook;
+// scripts/bench.sh records both in BENCH_PR9.json and gates the batch path
+// at >= 3x the legacy traces/s and >= 10x fewer allocations per trace.
+// BM_CampaignSnapshot* additionally time the full snapshot (routing + walk
+// included) as ungated context for the end-to-end win.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/pack.h"
+#include "gen/campaign.h"
+#include "gen/internet.h"
+#include "probe/traceroute.h"
+#include "util/arena.h"
+
+// --- allocation-count hook -------------------------------------------------
+// Counts every global operator new (scalar, array, aligned). Relaxed atomic:
+// the benches are single-threaded, the hook just has to be safe if the
+// runtime spawns a helper thread.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align),
+                     size ? size : 1) == 0) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace mum;
+
+// One precomputed probe: the deterministic forwarding walk the observation
+// model consumes (walks depend only on (path, flow id), never on the rng).
+struct ProbeInput {
+  net::Ipv4Addr dst;
+  probe::WalkResult walk;
+};
+
+// 8 monitors x 400 destinations x 2 probes -> ~6400 traces per snapshot.
+struct Corpus {
+  gen::Internet internet;
+  dataset::Ip2As ip2as;
+  std::vector<std::vector<ProbeInput>> by_monitor;  // campaign monitor order
+  std::size_t traces = 0;
+  std::size_t hops = 0;
+  std::size_t lses = 0;
+
+  Corpus()
+      : internet([] {
+          gen::GenConfig config;
+          config.background_transit = 12;
+          config.stub_ases = 16;
+          config.monitors = 8;
+          config.dests_per_monitor = 400;
+          return config;
+        }()),
+        ip2as(internet.build_ip2as()) {
+    // Replicate the campaign's per-monitor destination split exactly, but
+    // keep the walks instead of tracing them.
+    const auto ctx = internet.instantiate(50);
+    const auto& monitors = internet.monitors();
+    const auto& dests = internet.destinations();
+    const int per_monitor = internet.config().dests_per_monitor;
+    const int overlap = std::max(1, internet.config().dest_overlap);
+    by_monitor.resize(monitors.size());
+    gen::Internet::PathScratch scratch;
+    for (std::size_t mi = 0; mi < monitors.size(); ++mi) {
+      int probed = 0;
+      for (int o = 0; o < overlap && probed < per_monitor; ++o) {
+        const std::size_t lane =
+            (mi + monitors.size() - static_cast<std::size_t>(o)) %
+            monitors.size();
+        const int per_dest = std::max(1, internet.config().probes_per_dest);
+        for (std::size_t d = lane; d < dests.size() && probed < per_monitor;
+             d += monitors.size(), ++probed) {
+          for (int pp = 0; pp < per_dest; ++pp) {
+            gen::Destination dest = dests[d];
+            dest.addr = net::Ipv4Addr(dest.addr.value() +
+                                      static_cast<std::uint32_t>(pp) * 128);
+            if (!internet.path_spec(monitors[mi], dest, ctx, scratch)) {
+              continue;
+            }
+            ProbeInput probe;
+            probe.dst = dest.addr;
+            probe.walk = probe::walk_path(
+                scratch.path, probe::paris_flow_id(monitors[mi], dest.addr));
+            by_monitor[mi].push_back(std::move(probe));
+          }
+        }
+      }
+      traces += by_monitor[mi].size();
+    }
+    // Hop/LSE counts for exact batch reserves (what the campaign's merge
+    // step knows from its shard counts).
+    for (const auto& block : by_monitor) {
+      for (const auto& probe : block) {
+        for (const auto& hop : probe.walk.hops) {
+          ++hops;
+          lses += hop.labels.depth();
+        }
+      }
+    }
+  }
+};
+
+const Corpus& corpus() {
+  static const Corpus c;
+  return c;
+}
+
+// Legacy measurement path: one heap Trace per probe (hop vector growth per
+// trace), per-hop trie annotate, per-record pack encode, full Trace
+// materialization on ingest. This is the pre-PR path, kept in-tree as the
+// batch oracle (gen::CampaignConfig::batch = false).
+void BM_MeasurementPathLegacy(benchmark::State& state) {
+  const Corpus& c = corpus();
+  const auto& monitors = c.internet.monitors();
+  const probe::TraceOptions options;
+
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const util::Rng noise_base(0xBEEF);
+    dataset::Snapshot snap;
+    snap.cycle_id = 50;
+    snap.date = "2010-03";
+    // Same block-then-merge shape as the pre-PR campaign loop: each monitor
+    // grows its own trace vector, blocks concatenate in monitor order.
+    std::vector<std::vector<dataset::Trace>> blocks(monitors.size());
+    for (std::size_t mi = 0; mi < monitors.size(); ++mi) {
+      util::Rng rng = noise_base.fork(mi);
+      for (const ProbeInput& probe : c.by_monitor[mi]) {
+        blocks[mi].push_back(probe::observe_walk(monitors[mi], probe.dst,
+                                                 options, rng, probe.walk));
+      }
+    }
+    snap.traces.reserve(c.traces);
+    for (auto& block : blocks) {
+      for (auto& trace : block) snap.traces.push_back(std::move(trace));
+    }
+    c.ip2as.annotate(std::span<dataset::Trace>(snap.traces));
+    const std::string bytes = dataset::serialize_pack(snap);
+    const auto back = dataset::parse_pack(bytes);
+    if (!back || back->traces.size() != c.traces) {
+      state.SkipWithError("legacy round-trip lost traces");
+      break;
+    }
+    benchmark::DoNotOptimize(back->traces.data());
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  const auto items = static_cast<std::int64_t>(state.iterations()) *
+                     static_cast<std::int64_t>(c.traces);
+  state.SetItemsProcessed(items);
+  if (items > 0) {
+    state.counters["allocs_per_trace"] =
+        static_cast<double>(allocs) / static_cast<double>(items);
+  }
+  state.SetLabel(std::to_string(c.traces) + " traces/snapshot");
+}
+BENCHMARK(BM_MeasurementPathLegacy)->Unit(benchmark::kMillisecond);
+
+// Batch measurement path: traces land as SoA columns in one reused arena
+// (steady state allocates nothing), memoized column annotate, column-memcpy
+// pack serialization, zero-copy column ingest.
+void BM_MeasurementPathBatch(benchmark::State& state) {
+  const Corpus& c = corpus();
+  const auto& monitors = c.internet.monitors();
+  const probe::TraceOptions options;
+  util::Arena arena;
+  dataset::AsnCache asn_cache;  // campaign-persistent, like the arena
+
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const util::Rng noise_base(0xBEEF);
+    arena.reset();
+    dataset::SnapshotBatch snap;
+    snap.cycle_id = 50;
+    snap.date = "2010-03";
+    snap.traces = dataset::TraceBatch(arena);
+    snap.traces.reserve(c.traces, c.hops, c.lses);
+    for (std::size_t mi = 0; mi < monitors.size(); ++mi) {
+      util::Rng rng = noise_base.fork(mi);
+      for (const ProbeInput& probe : c.by_monitor[mi]) {
+        probe::observe_walk_into(monitors[mi], probe.dst, options, rng,
+                                 probe.walk, snap.traces);
+      }
+    }
+    c.ip2as.annotate(snap.traces, asn_cache);
+    const std::string bytes = dataset::serialize_pack(snap);
+    const auto view = dataset::PackView::open(bytes, {}, nullptr);
+    if (!view) {
+      state.SkipWithError("batch pack failed to open");
+      break;
+    }
+    const dataset::SnapshotBatch back = view->to_snapshot_batch();
+    if (back.trace_count() != c.traces) {
+      state.SkipWithError("batch round-trip lost traces");
+      break;
+    }
+    benchmark::DoNotOptimize(back.traces.hop_addr_col().data());
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  const auto items = static_cast<std::int64_t>(state.iterations()) *
+                     static_cast<std::int64_t>(c.traces);
+  state.SetItemsProcessed(items);
+  if (items > 0) {
+    state.counters["allocs_per_trace"] =
+        static_cast<double>(allocs) / static_cast<double>(items);
+  }
+  state.SetLabel(std::to_string(c.traces) + " traces/snapshot");
+}
+BENCHMARK(BM_MeasurementPathBatch)->Unit(benchmark::kMillisecond);
+
+// Context (not gated): the full campaign snapshot including AS routing and
+// the forwarding walk — the shared simulation floor both paths pay.
+void BM_CampaignSnapshotLegacy(benchmark::State& state) {
+  const Corpus& c = corpus();
+  gen::CampaignConfig config;
+  config.batch = false;
+  const gen::CampaignRunner campaign(c.internet, c.ip2as, config);
+  auto ctx = c.internet.instantiate(50);
+
+  std::uint64_t traces = 0;
+  for (auto _ : state) {
+    const dataset::Snapshot snap = campaign.snapshot(ctx, 50, 0);
+    traces = snap.traces.size();
+    benchmark::DoNotOptimize(snap.traces.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(traces));
+}
+BENCHMARK(BM_CampaignSnapshotLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignSnapshotBatch(benchmark::State& state) {
+  const Corpus& c = corpus();
+  const gen::CampaignRunner campaign(c.internet, c.ip2as);
+  auto ctx = c.internet.instantiate(50);
+
+  std::uint64_t traces = 0;
+  for (auto _ : state) {
+    const dataset::SnapshotBatch snap = campaign.snapshot_batch(ctx, 50, 0);
+    traces = snap.trace_count();
+    benchmark::DoNotOptimize(snap.traces.hop_addr_col().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(traces));
+}
+BENCHMARK(BM_CampaignSnapshotBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

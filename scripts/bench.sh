@@ -14,6 +14,14 @@
 #   4. bench/micro_evolve -> BENCH_PR8.json (delta-based cycle evolution vs
 #      from-scratch rebuild at 10^3/10^4/10^5-router tiers; gated: the
 #      delta step must be >= 5x faster than the rebuild at the 10^4 tier)
+#   5. bench/micro_probe  -> BENCH_PR9.json (measurement path over
+#      precomputed forwarding walks: observe -> store -> annotate -> pack ->
+#      ingest, legacy heap Traces vs arena-backed SoA TraceBatch, with an
+#      operator-new counting hook; gated on the same-report pair — batch
+#      must run at >= 3x the legacy traces/s with >= 10x fewer heap
+#      allocations per trace. The legacy benchmark IS the pre-PR path
+#      (CampaignConfig::batch = false reaches the same code), so comparing
+#      within one report keeps the gate honest on loaded machines)
 #
 # After the micro stages, an RSS-envelope gate runs a scaled campaign
 # (`mum campaign --scale`) and fails when peak RSS exceeds the memory
@@ -39,7 +47,8 @@ filter="${2:-}"
 
 cmake -B "$build" -S "$repo"
 cmake --build "$build" -j --target micro_lpr --target micro_ingest \
-  --target micro_obs --target micro_evolve --target mum_tool
+  --target micro_obs --target micro_evolve --target micro_probe \
+  --target mum_tool
 
 # Machine/build provenance recorded into every report's context block.
 build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt")"
@@ -196,6 +205,69 @@ print(
 )
 if ratio < 5.0:
     sys.exit(f"evolve gate FAILED: rebuild/evolve = {ratio:.2f}x, need >= 5x")
+PY
+
+# PR9 compares the two in-tree measurement paths inside one report: the
+# legacy benchmark exercises the pre-PR heap-Trace pipeline verbatim (it is
+# kept in-tree as the batch path's oracle, CampaignConfig::batch = false),
+# so the live legacy/batch ratio is the "vs pre-PR baseline" number and is
+# immune to machine-load drift between runs. baseline_commit records the
+# last pre-PR commit for provenance; for scale, the full simulate ->
+# annotate -> pack -> parse pipeline there measured 1808 ns/trace at 11.4
+# heap allocations/trace on this world shape.
+probe_args=(
+  --benchmark_format=json
+  --benchmark_out="$repo/BENCH_PR9.json"
+  --benchmark_out_format=json
+  "${context_args[@]}"
+  --benchmark_context=baseline_commit=c4b6eab
+)
+if [[ -n "$filter" ]]; then
+  probe_args+=(--benchmark_filter="$filter")
+fi
+
+"$build/bench/micro_probe" "${probe_args[@]}"
+echo "wrote $repo/BENCH_PR9.json"
+require_baselines "$repo/BENCH_PR9.json" baseline_commit
+
+python3 - "$repo/BENCH_PR9.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+context = report["context"]
+by_name = {b["name"]: b for b in report["benchmarks"]}
+legacy = by_name.get("BM_MeasurementPathLegacy")
+batch = by_name.get("BM_MeasurementPathBatch")
+if legacy is None or batch is None:
+    print("measurement-path gate skipped (benchmarks filtered out)")
+    sys.exit(0)
+
+legacy_ns = 1e9 / legacy["items_per_second"]
+batch_ns = 1e9 / batch["items_per_second"]
+legacy_allocs = legacy["allocs_per_trace"]
+batch_allocs = batch["allocs_per_trace"]
+speedup = legacy_ns / batch_ns
+alloc_ratio = (
+    legacy_allocs / batch_allocs if batch_allocs > 0 else float("inf")
+)
+print(
+    f"measurement path: legacy {legacy_ns:.0f} ns/trace "
+    f"({legacy_allocs:.2f} allocs/trace), batch {batch_ns:.0f} ns/trace "
+    f"({batch_allocs:.4f} allocs/trace) -> {speedup:.1f}x faster, "
+    f"{alloc_ratio:.0f}x fewer allocations "
+    f"(pre-PR path baseline at {context['baseline_commit']})"
+)
+if speedup < 3.0:
+    sys.exit(
+        f"measurement-path gate FAILED: batch speedup {speedup:.2f}x vs "
+        f"the legacy path, need >= 3x"
+    )
+if alloc_ratio < 10.0:
+    sys.exit(
+        f"measurement-path gate FAILED: allocation ratio {alloc_ratio:.2f}x "
+        f"vs the legacy path, need >= 10x"
+    )
 PY
 
 # --- RSS envelope gate ------------------------------------------------------

@@ -18,22 +18,29 @@ cmake -B "$build" -S "$repo"
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j
 
-echo "== tier-1: TSan pass over test_parallel + test_obs + test_evolve ($tsan_build) =="
+echo "== tier-1: TSan pass over test_parallel + test_obs + test_evolve + test_batch ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" -DMUM_TSAN=ON
 # Only these targets — a full TSan tree is slow and adds nothing here.
 # test_obs runs with telemetry sinks installed, so the sharded metric and
 # trace paths get raced for real. test_evolve races the DeltaEvolver's
-# per-AS delta fan-out and the evolved runner at 16 threads.
+# per-AS delta fan-out and the evolved runner at 16 threads. test_batch
+# races the arena-backed shard batches (one arena per monitor, merged in
+# monitor order) against the legacy oracle at 16 threads.
 cmake --build "$tsan_build" -j --target test_parallel --target test_obs \
-  --target test_evolve
+  --target test_evolve --target test_batch
 "$tsan_build/tests/test_parallel"
 "$tsan_build/tests/test_obs"
 "$tsan_build/tests/test_evolve"
+"$tsan_build/tests/test_batch"
 
 echo "== tier-1: ASan+UBSan pass over tolerant ingest ($asan_build) =="
 cmake -B "$asan_build" -S "$repo" -DMUM_ASAN=ON
-cmake --build "$asan_build" -j --target fuzz_warts --target test_chaos
+# test_batch's damaged-pack ingest and the fuzzer's batch round-trip arm
+# both drive the zero-copy column views over hostile bytes.
+cmake --build "$asan_build" -j --target fuzz_warts --target test_chaos \
+  --target test_batch
 "$asan_build/tools/fuzz_warts" --iters 10000
 "$asan_build/tests/test_chaos"
+"$asan_build/tests/test_batch"
 
 echo "== tier-1: OK =="

@@ -189,10 +189,11 @@ void Corruptor::corrupt(dataset::Snapshot& snapshot) {
         } else if (config_.truncate_stack > 0 &&
                    rng.chance(config_.truncate_stack)) {
           // Keep a strict prefix of the stack (possibly empty).
-          auto entries = hop.labels.entries();
-          entries.resize(static_cast<std::size_t>(
-              rng.below(hop.labels.depth())));
-          hop.labels = net::LabelStack(std::move(entries));
+          const auto entries = hop.labels.entries();
+          const auto keep =
+              static_cast<std::size_t>(rng.below(hop.labels.depth()));
+          hop.labels = net::LabelStack(std::vector<net::LabelStackEntry>(
+              entries.begin(), entries.begin() + keep));
           ++stats_.stacks_truncated;
         }
       }

@@ -1,17 +1,57 @@
 #include "core/extract.h"
 
 #include <unordered_set>
+#include <utility>
 
 namespace mum::lpr {
 
 namespace {
 
+// The extraction walk is templated over a per-trace adaptor so the heap
+// Trace and the columnar TraceView run the identical algorithm (identical
+// control flow ⇒ identical observations and stats, which the oracle tests
+// assert). An adaptor exposes:
+//
+//   hop_count(), anonymous(k), has_labels(k), addr(k), asn(k), labels(k),
+//   monitor_id(), dst(), dst_asn()
+struct AosTraceRef {
+  const dataset::Trace& t;
+
+  std::size_t hop_count() const { return t.hops.size(); }
+  bool anonymous(std::size_t k) const { return t.hops[k].anonymous(); }
+  bool has_labels(std::size_t k) const { return t.hops[k].has_labels(); }
+  net::Ipv4Addr addr(std::size_t k) const { return t.hops[k].addr; }
+  std::uint32_t asn(std::size_t k) const { return t.hops[k].asn; }
+  std::vector<std::uint32_t> labels(std::size_t k) const {
+    return t.hops[k].labels.labels();
+  }
+  std::uint32_t monitor_id() const { return t.monitor_id; }
+  net::Ipv4Addr dst() const { return t.dst; }
+  std::uint32_t dst_asn() const { return t.dst_asn; }
+};
+
+struct BatchTraceRef {
+  dataset::TraceView v;
+
+  std::size_t hop_count() const { return v.hop_count(); }
+  bool anonymous(std::size_t k) const { return v.hop(k).anonymous(); }
+  bool has_labels(std::size_t k) const { return v.hop(k).has_labels(); }
+  net::Ipv4Addr addr(std::size_t k) const { return v.hop(k).addr(); }
+  std::uint32_t asn(std::size_t k) const { return v.hop(k).asn(); }
+  std::vector<std::uint32_t> labels(std::size_t k) const {
+    return v.hop(k).labels();
+  }
+  std::uint32_t monitor_id() const { return v.monitor_id(); }
+  net::Ipv4Addr dst() const { return v.dst(); }
+  std::uint32_t dst_asn() const { return v.dst_asn(); }
+};
+
 // Majority ASN of the labeled run; 0 when hops map to no AS at all.
-std::uint32_t run_asn(const std::vector<dataset::TraceHop>& hops,
-                      std::size_t first, std::size_t last) {
+template <class T>
+std::uint32_t run_asn(const T& hops, std::size_t first, std::size_t last) {
   std::unordered_map<std::uint32_t, int> votes;
   for (std::size_t i = first; i <= last; ++i) {
-    if (hops[i].asn != dataset::kUnknownAsn) ++votes[hops[i].asn];
+    if (hops.asn(i) != dataset::kUnknownAsn) ++votes[hops.asn(i)];
   }
   std::uint32_t best = 0;
   int best_votes = 0;
@@ -25,14 +65,149 @@ std::uint32_t run_asn(const std::vector<dataset::TraceHop>& hops,
 }
 
 // True when every mapped hop of the run has ASN `asn`.
-bool run_is_intra_as(const std::vector<dataset::TraceHop>& hops,
-                     std::size_t first, std::size_t last, std::uint32_t asn) {
+template <class T>
+bool run_is_intra_as(const T& hops, std::size_t first, std::size_t last,
+                     std::uint32_t asn) {
   for (std::size_t i = first; i <= last; ++i) {
-    if (hops[i].asn != dataset::kUnknownAsn && hops[i].asn != asn) {
+    if (hops.asn(i) != dataset::kUnknownAsn && hops.asn(i) != asn) {
       return false;
     }
   }
   return true;
+}
+
+template <class T>
+void extract_from_trace(const T& hops, const dataset::Ip2As& ip2as,
+                        ExtractedSnapshot& out,
+                        std::unordered_set<net::Ipv4Addr>& mpls_addrs,
+                        std::unordered_set<net::Ipv4Addr>& all_addrs) {
+  ++out.stats.traces_total;
+  bool saw_tunnel = false;
+
+  const std::size_t n = hops.hop_count();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!hops.anonymous(k)) all_addrs.insert(hops.addr(k));
+  }
+
+  std::size_t i = 0;
+  while (i < n) {
+    if (!hops.has_labels(i)) {
+      ++i;
+      continue;
+    }
+    // Maximal labeled run [first, last]. Anonymous hops break the run but
+    // make the LSP incomplete (an LSR failed to reply).
+    const std::size_t first = i;
+    std::size_t last = i;
+    bool run_has_anonymous = false;
+    while (last + 1 < n) {
+      if (hops.has_labels(last + 1)) {
+        ++last;
+      } else if (hops.anonymous(last + 1) && last + 2 < n &&
+                 hops.has_labels(last + 2)) {
+        // '*' wedged between labeled hops: the run continues but is
+        // incomplete in the traceroute sense.
+        run_has_anonymous = true;
+        last += 2;
+      } else {
+        break;
+      }
+    }
+    i = last + 1;
+
+    saw_tunnel = true;
+    ++out.stats.lsps_observed;
+    for (std::size_t k = first; k <= last; ++k) {
+      if (!hops.anonymous(k)) mpls_addrs.insert(hops.addr(k));
+    }
+
+    // Completeness: need both endpoint hops, responding, and no '*' inside.
+    const bool has_ingress = first > 0 && !hops.anonymous(first - 1);
+    const bool has_exit = last + 1 < n && !hops.anonymous(last + 1);
+    if (run_has_anonymous || !has_ingress || !has_exit) {
+      ++out.stats.lsps_incomplete;
+      continue;
+    }
+
+    const std::uint32_t asn = run_asn(hops, first, last);
+    LspObservation obs;
+    obs.dst_asn = hops.dst_asn() != 0 ? hops.dst_asn()
+                                      : ip2as.lookup(hops.dst());
+    obs.monitor_id = hops.monitor_id();
+    obs.lsp.ingress = hops.addr(first - 1);
+    // Mark multi-AS runs with asn=0 so the IntraAS filter rejects them.
+    obs.lsp.asn = run_is_intra_as(hops, first, last, asn) ? asn : 0;
+
+    // Exit point: the hop after the run when it still belongs to the
+    // tunnel's AS (PHP), else the last labeled hop (non-PHP egress).
+    if (hops.asn(last + 1) == obs.lsp.asn && obs.lsp.asn != 0) {
+      obs.lsp.egress = hops.addr(last + 1);
+      obs.lsp.egress_labeled = false;
+    } else {
+      obs.lsp.egress = hops.addr(last);
+      obs.lsp.egress_labeled = true;
+    }
+
+    obs.lsp.lsrs.reserve(last - first + 1);
+    for (std::size_t k = first; k <= last; ++k) {
+      if (hops.anonymous(k)) continue;
+      LsrHop lsr;
+      lsr.addr = hops.addr(k);
+      lsr.labels = hops.labels(k);
+      obs.lsp.lsrs.push_back(std::move(lsr));
+    }
+    out.observations.push_back(std::move(obs));
+  }
+
+  if (saw_tunnel) ++out.stats.traces_with_explicit_tunnel;
+}
+
+template <class T>
+void census_from_trace(
+    const T& hops,
+    std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Addr>>& mpls,
+    std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Addr>>&
+        plain) {
+  const std::size_t n = hops.hop_count();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (hops.anonymous(k) || hops.asn(k) == dataset::kUnknownAsn) continue;
+    if (hops.has_labels(k)) {
+      mpls[hops.asn(k)].insert(hops.addr(k));
+    } else {
+      plain[hops.asn(k)].insert(hops.addr(k));
+    }
+  }
+}
+
+std::unordered_map<std::uint32_t, AsIpCensus> census_finish(
+    const std::unordered_map<std::uint32_t,
+                             std::unordered_set<net::Ipv4Addr>>& mpls,
+    const std::unordered_map<std::uint32_t,
+                             std::unordered_set<net::Ipv4Addr>>& plain) {
+  std::unordered_map<std::uint32_t, AsIpCensus> out;
+  for (const auto& [asn, addrs] : mpls) out[asn].mpls_ips = addrs.size();
+  for (const auto& [asn, addrs] : plain) {
+    auto& census = out[asn];
+    // Count an address as non-MPLS only if it never appeared labeled.
+    const auto it = mpls.find(asn);
+    for (const auto& addr : addrs) {
+      if (it == mpls.end() || !it->second.contains(addr)) {
+        ++census.non_mpls_ips;
+      }
+    }
+  }
+  return out;
+}
+
+void extract_finish(ExtractedSnapshot& out,
+                    const std::unordered_set<net::Ipv4Addr>& mpls_addrs,
+                    const std::unordered_set<net::Ipv4Addr>& all_addrs) {
+  out.stats.mpls_ips = mpls_addrs.size();
+  std::uint64_t non_mpls = 0;
+  for (const auto& addr : all_addrs) {
+    if (!mpls_addrs.contains(addr)) ++non_mpls;
+  }
+  out.stats.non_mpls_ips = non_mpls;
 }
 
 }  // namespace
@@ -56,97 +231,28 @@ ExtractedSnapshot extract_lsps(const dataset::Snapshot& snapshot,
 
   std::unordered_set<net::Ipv4Addr> mpls_addrs;
   std::unordered_set<net::Ipv4Addr> all_addrs;
-
   for (const dataset::Trace& trace : snapshot.traces) {
-    ++out.stats.traces_total;
-    bool saw_tunnel = false;
-
-    const auto& hops = trace.hops;
-    for (const auto& hop : hops) {
-      if (!hop.anonymous()) all_addrs.insert(hop.addr);
-    }
-
-    std::size_t i = 0;
-    while (i < hops.size()) {
-      if (!hops[i].has_labels()) {
-        ++i;
-        continue;
-      }
-      // Maximal labeled run [first, last]. Anonymous hops break the run but
-      // make the LSP incomplete (an LSR failed to reply).
-      const std::size_t first = i;
-      std::size_t last = i;
-      bool run_has_anonymous = false;
-      while (last + 1 < hops.size()) {
-        if (hops[last + 1].has_labels()) {
-          ++last;
-        } else if (hops[last + 1].anonymous() && last + 2 < hops.size() &&
-                   hops[last + 2].has_labels()) {
-          // '*' wedged between labeled hops: the run continues but is
-          // incomplete in the traceroute sense.
-          run_has_anonymous = true;
-          last += 2;
-        } else {
-          break;
-        }
-      }
-      i = last + 1;
-
-      saw_tunnel = true;
-      ++out.stats.lsps_observed;
-      for (std::size_t k = first; k <= last; ++k) {
-        if (!hops[k].anonymous()) mpls_addrs.insert(hops[k].addr);
-      }
-
-      // Completeness: need both endpoint hops, responding, and no '*' inside.
-      const bool has_ingress = first > 0 && !hops[first - 1].anonymous();
-      const bool has_exit = last + 1 < hops.size() &&
-                            !hops[last + 1].anonymous();
-      if (run_has_anonymous || !has_ingress || !has_exit) {
-        ++out.stats.lsps_incomplete;
-        continue;
-      }
-
-      const std::uint32_t asn = run_asn(hops, first, last);
-      LspObservation obs;
-      obs.dst_asn = trace.dst_asn != 0 ? trace.dst_asn
-                                       : ip2as.lookup(trace.dst);
-      obs.monitor_id = trace.monitor_id;
-      obs.lsp.ingress = hops[first - 1].addr;
-      // Mark multi-AS runs with asn=0 so the IntraAS filter rejects them.
-      obs.lsp.asn = run_is_intra_as(hops, first, last, asn) ? asn : 0;
-
-      // Exit point: the hop after the run when it still belongs to the
-      // tunnel's AS (PHP), else the last labeled hop (non-PHP egress).
-      const dataset::TraceHop& after = hops[last + 1];
-      if (after.asn == obs.lsp.asn && obs.lsp.asn != 0) {
-        obs.lsp.egress = after.addr;
-        obs.lsp.egress_labeled = false;
-      } else {
-        obs.lsp.egress = hops[last].addr;
-        obs.lsp.egress_labeled = true;
-      }
-
-      obs.lsp.lsrs.reserve(last - first + 1);
-      for (std::size_t k = first; k <= last; ++k) {
-        if (hops[k].anonymous()) continue;
-        LsrHop lsr;
-        lsr.addr = hops[k].addr;
-        lsr.labels = hops[k].labels.labels();
-        obs.lsp.lsrs.push_back(std::move(lsr));
-      }
-      out.observations.push_back(std::move(obs));
-    }
-
-    if (saw_tunnel) ++out.stats.traces_with_explicit_tunnel;
+    extract_from_trace(AosTraceRef{trace}, ip2as, out, mpls_addrs, all_addrs);
   }
+  extract_finish(out, mpls_addrs, all_addrs);
+  return out;
+}
 
-  out.stats.mpls_ips = mpls_addrs.size();
-  std::uint64_t non_mpls = 0;
-  for (const auto& addr : all_addrs) {
-    if (!mpls_addrs.contains(addr)) ++non_mpls;
+ExtractedSnapshot extract_lsps(const dataset::SnapshotBatch& snapshot,
+                               const dataset::Ip2As& ip2as) {
+  ExtractedSnapshot out;
+  out.cycle_id = snapshot.cycle_id;
+  out.sub_index = snapshot.sub_index;
+  out.date = snapshot.date;
+
+  std::unordered_set<net::Ipv4Addr> mpls_addrs;
+  std::unordered_set<net::Ipv4Addr> all_addrs;
+  const std::size_t n = snapshot.traces.trace_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    extract_from_trace(BatchTraceRef{snapshot.traces.view(i)}, ip2as, out,
+                       mpls_addrs, all_addrs);
   }
-  out.stats.non_mpls_ips = non_mpls;
+  extract_finish(out, mpls_addrs, all_addrs);
   return out;
 }
 
@@ -155,28 +261,20 @@ std::unordered_map<std::uint32_t, AsIpCensus> census_by_as(
   std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Addr>> mpls;
   std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Addr>> plain;
   for (const dataset::Trace& trace : snapshot.traces) {
-    for (const auto& hop : trace.hops) {
-      if (hop.anonymous() || hop.asn == dataset::kUnknownAsn) continue;
-      if (hop.has_labels()) {
-        mpls[hop.asn].insert(hop.addr);
-      } else {
-        plain[hop.asn].insert(hop.addr);
-      }
-    }
+    census_from_trace(AosTraceRef{trace}, mpls, plain);
   }
-  std::unordered_map<std::uint32_t, AsIpCensus> out;
-  for (const auto& [asn, addrs] : mpls) out[asn].mpls_ips = addrs.size();
-  for (const auto& [asn, addrs] : plain) {
-    auto& census = out[asn];
-    // Count an address as non-MPLS only if it never appeared labeled.
-    const auto it = mpls.find(asn);
-    for (const auto& addr : addrs) {
-      if (it == mpls.end() || !it->second.contains(addr)) {
-        ++census.non_mpls_ips;
-      }
-    }
+  return census_finish(mpls, plain);
+}
+
+std::unordered_map<std::uint32_t, AsIpCensus> census_by_as(
+    const dataset::SnapshotBatch& snapshot) {
+  std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Addr>> mpls;
+  std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Addr>> plain;
+  const std::size_t n = snapshot.traces.trace_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    census_from_trace(BatchTraceRef{snapshot.traces.view(i)}, mpls, plain);
   }
-  return out;
+  return census_finish(mpls, plain);
 }
 
 }  // namespace mum::lpr

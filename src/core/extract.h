@@ -22,6 +22,7 @@
 #include "core/model.h"
 #include "dataset/ip2as.h"
 #include "dataset/trace.h"
+#include "dataset/trace_batch.h"
 
 namespace mum::lpr {
 
@@ -54,6 +55,11 @@ struct ExtractedSnapshot {
 // `ip2as` reference is used for endpoint resolution of unmapped hops.
 ExtractedSnapshot extract_lsps(const dataset::Snapshot& snapshot,
                                const dataset::Ip2As& ip2as);
+// Batch form: identical algorithm over TraceView/HopView spans — no Trace
+// materialization. Produces the same observations and stats as running the
+// heap overload on snapshot.to_snapshot().
+ExtractedSnapshot extract_lsps(const dataset::SnapshotBatch& snapshot,
+                               const dataset::Ip2As& ip2as);
 
 // Per-AS unique-address census over one snapshot (Table 2 rows): for each
 // ASN, how many distinct responding addresses were seen inside labeled runs
@@ -64,5 +70,7 @@ struct AsIpCensus {
 };
 std::unordered_map<std::uint32_t, AsIpCensus> census_by_as(
     const dataset::Snapshot& snapshot);
+std::unordered_map<std::uint32_t, AsIpCensus> census_by_as(
+    const dataset::SnapshotBatch& snapshot);
 
 }  // namespace mum::lpr

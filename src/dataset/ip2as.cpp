@@ -20,8 +20,53 @@ void Ip2As::annotate(Trace& trace) const {
   }
 }
 
-void Ip2As::annotate(std::vector<Trace>& traces) const {
+void Ip2As::annotate(std::span<Trace> traces) const {
   for (auto& t : traces) annotate(t);
+}
+
+std::uint32_t AsnCache::miss(std::size_t slot_index, std::uint32_t addr,
+                             const Ip2As& table) {
+  const std::uint32_t asn = table.lookup(net::Ipv4Addr(addr));
+  slots_[slot_index] = (std::uint64_t{addr} << 32) | asn;
+  // Keep the load factor below 1/4 so hits stay near one probe — the table
+  // is persistent, so growth cost amortizes over a whole campaign.
+  if (++used_ * 4 > slots_.size()) grow();
+  return asn;
+}
+
+void AsnCache::grow() {
+  std::vector<std::uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  --shift_;
+  const std::size_t mask = slots_.size() - 1;
+  for (const std::uint64_t slot : old) {
+    const auto key = static_cast<std::uint32_t>(slot >> 32);
+    if (key == 0) continue;
+    std::size_t i = (key * 0x9E3779B9u) >> shift_;
+    while (static_cast<std::uint32_t>(slots_[i] >> 32) != 0) {
+      i = (i + 1) & mask;
+    }
+    slots_[i] = slot;
+  }
+}
+
+void Ip2As::annotate(TraceBatch& batch) const {
+  AsnCache memo;
+  annotate(batch, memo);
+}
+
+void Ip2As::annotate(TraceBatch& batch, AsnCache& memo) const {
+  const auto dst = batch.dst_col();
+  const auto dst_asn = batch.dst_asn_mut();
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst_asn[i] = dst[i] != 0 ? memo.get(dst[i], *this)
+                             : lookup(net::Ipv4Addr(0));
+  }
+  const auto addrs = batch.hop_addr_col();
+  const auto asn = batch.hop_asn_mut();
+  for (std::size_t h = 0; h < addrs.size(); ++h) {
+    asn[h] = addrs[h] != 0 ? memo.get(addrs[h], *this) : kUnknownAsn;
+  }
 }
 
 std::string to_table_text(const Ip2As& table) {

@@ -65,6 +65,23 @@ std::size_t section_index(PackSection s) noexcept {
   return static_cast<std::size_t>(s);
 }
 
+// Host-order column -> little-endian wire bytes. On LE hosts a straight
+// memcpy; the generic path keeps BE hosts byte-identical.
+template <class T>
+void copy_le(char* out, std::span<const T> src) {
+  if (src.empty()) return;  // empty column: data() may be null
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  std::memcpy(out, src.data(), src.size_bytes());
+#else
+  for (const T v : src) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      *out++ = static_cast<char>((static_cast<std::uint64_t>(v) >> (8 * i)) &
+                                 0xff);
+    }
+  }
+#endif
+}
+
 }  // namespace
 
 std::uint64_t pack_checksum(std::string_view bytes) noexcept {
@@ -166,6 +183,95 @@ std::string serialize_pack(const Snapshot& snapshot) {
     out.append(cols[s]);
   }
   out.resize(total, '\0');
+  return out;
+}
+
+std::string serialize_pack(const SnapshotBatch& snapshot) {
+  const TraceBatch& b = snapshot.traces;
+  const std::size_t n_traces = b.trace_count();
+  const std::size_t n_hops = b.hop_count();
+  const std::size_t n_lses = b.lse_count();
+
+  // Column payload sizes, indexed by PackSection — the batch columns map
+  // 1:1 onto the sections (including the leading-zero offset entries).
+  std::array<std::size_t, kPackSectionCount> col_bytes{};
+  col_bytes[section_index(PackSection::kDate)] = snapshot.date.size();
+  col_bytes[section_index(PackSection::kTraceMonitor)] = n_traces * 4;
+  col_bytes[section_index(PackSection::kTraceSrc)] = n_traces * 4;
+  col_bytes[section_index(PackSection::kTraceDst)] = n_traces * 4;
+  col_bytes[section_index(PackSection::kTraceReached)] = n_traces;
+  col_bytes[section_index(PackSection::kTraceHopOffset)] = (n_traces + 1) * 8;
+  col_bytes[section_index(PackSection::kHopAddr)] = n_hops * 4;
+  col_bytes[section_index(PackSection::kHopRtt)] = n_hops * 4;
+  col_bytes[section_index(PackSection::kHopLseOffset)] = (n_hops + 1) * 8;
+  col_bytes[section_index(PackSection::kLsePool)] = n_lses * 4;
+
+  const std::size_t table_end =
+      kPackHeaderBytes + kPackSectionCount * kPackSectionEntryBytes;
+  std::array<std::size_t, kPackSectionCount> offsets{};
+  std::size_t off = table_end;
+  for (std::size_t s = 0; s < kPackSectionCount; ++s) {
+    offsets[s] = off;
+    off = aligned_up(off + col_bytes[s]);
+  }
+  const std::size_t total = off;
+
+  std::string out(total, '\0');
+  char* base = out.data();
+
+  // Payloads first (the section table wants their checksums).
+  const auto at = [&](PackSection s) { return base + offsets[section_index(s)]; };
+  std::memcpy(at(PackSection::kDate), snapshot.date.data(),
+              snapshot.date.size());
+  copy_le(at(PackSection::kTraceMonitor), b.monitor_col());
+  copy_le(at(PackSection::kTraceSrc), b.src_col());
+  copy_le(at(PackSection::kTraceDst), b.dst_col());
+  if (n_traces > 0) {
+    std::memcpy(at(PackSection::kTraceReached), b.reached_col().data(),
+                n_traces);
+  }
+  copy_le(at(PackSection::kTraceHopOffset), b.hop_off_col());
+  copy_le(at(PackSection::kHopAddr), b.hop_addr_col());
+  copy_le(at(PackSection::kHopLseOffset), b.lse_off_col());
+  copy_le(at(PackSection::kLsePool), b.lse_pool_col());
+  {
+    // The one per-element column: quantize RTT doubles to ms*1000 exactly
+    // as the per-record writer does.
+    char* rtt_out = at(PackSection::kHopRtt);
+    const auto rtts = b.hop_rtt_col();
+    for (std::size_t h = 0; h < n_hops; ++h) {
+      const auto q =
+          static_cast<std::uint32_t>(std::lround(rtts[h] * 1000.0));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+      std::memcpy(rtt_out + h * 4, &q, 4);
+#else
+      for (int i = 0; i < 4; ++i) {
+        rtt_out[h * 4 + i] = static_cast<char>((q >> (8 * i)) & 0xff);
+      }
+#endif
+    }
+  }
+
+  // Header + section table over the zero-filled prefix.
+  std::string head;
+  head.reserve(table_end);
+  head.append(kPackMagic, sizeof kPackMagic);
+  head.push_back(static_cast<char>(kPackVersion));
+  head.append(3, '\0');
+  put_u32le(head, snapshot.cycle_id);
+  put_u32le(head, snapshot.sub_index);
+  put_u32le(head, static_cast<std::uint32_t>(kPackSectionCount));
+  put_u32le(head, 0);
+  put_u64le(head, total);
+  for (std::size_t s = 0; s < kPackSectionCount; ++s) {
+    put_u32le(head, static_cast<std::uint32_t>(s));
+    put_u32le(head, kElemSize[s]);
+    put_u64le(head, offsets[s]);
+    put_u64le(head, col_bytes[s]);
+    put_u64le(head, pack_checksum(
+                        std::string_view(base + offsets[s], col_bytes[s])));
+  }
+  std::memcpy(base, head.data(), head.size());
   return out;
 }
 
@@ -485,6 +591,66 @@ Snapshot PackView::to_snapshot() const {
     if (trace_valid(i)) snap.traces.push_back(trace(i));
   }
   return snap;
+}
+
+SnapshotBatch PackView::to_snapshot_batch() const {
+  SnapshotBatch out;
+  out.cycle_id = cycle_id_;
+  out.sub_index = sub_index_;
+  out.date.assign(date_);
+  if (n_traces_ == 0) return out;
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // Fast path: every record valid and the hop/LSE sections structurally
+  // sound — the wire columns are exactly the batch columns, so ingest is a
+  // handful of bulk copies into the batch arena. (LE only: on the wire the
+  // columns are little-endian.)
+  const auto sec_ptr = [&](PackSection s) {
+    return bytes_.data() + section_off_[section_index(s)];
+  };
+  const auto aligned8 = [](const char* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % 8 == 0;
+  };
+  const bool hop_cols_sound =
+      section_bytes_[section_index(PackSection::kHopLseOffset)] ==
+          (n_hops_ + 1) * 8 &&
+      section_bytes_[section_index(PackSection::kHopAddr)] == n_hops_ * 4 &&
+      section_bytes_[section_index(PackSection::kHopRtt)] == n_hops_ * 4;
+  if (invalid_.empty() && hop_cols_sound &&
+      aligned8(sec_ptr(PackSection::kTraceHopOffset)) &&
+      aligned8(sec_ptr(PackSection::kHopLseOffset)) &&
+      aligned8(sec_ptr(PackSection::kTraceMonitor)) &&
+      aligned8(sec_ptr(PackSection::kHopAddr))) {
+    const auto u32s = [&](PackSection s, std::size_t n) {
+      return std::span<const std::uint32_t>(
+          reinterpret_cast<const std::uint32_t*>(sec_ptr(s)), n);
+    };
+    const auto u64s = [&](PackSection s, std::size_t n) {
+      return std::span<const std::uint64_t>(
+          reinterpret_cast<const std::uint64_t*>(sec_ptr(s)), n);
+    };
+    out.traces.assign_columns(
+        u32s(PackSection::kTraceMonitor, n_traces_),
+        u32s(PackSection::kTraceSrc, n_traces_),
+        u32s(PackSection::kTraceDst, n_traces_),
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(
+                sec_ptr(PackSection::kTraceReached)),
+            n_traces_),
+        u64s(PackSection::kTraceHopOffset, n_traces_ + 1),
+        u32s(PackSection::kHopAddr, n_hops_),
+        u32s(PackSection::kHopRtt, n_hops_),
+        u64s(PackSection::kHopLseOffset, n_hops_ + 1),
+        u32s(PackSection::kLsePool, n_lses_));
+    return out;
+  }
+#endif
+
+  // Damaged (or exotic-host) path: append valid records one by one.
+  for (std::size_t i = 0; i < n_traces_; ++i) {
+    if (trace_valid(i)) out.traces.append(trace(i));
+  }
+  return out;
 }
 
 std::optional<Snapshot> parse_pack(std::string_view bytes,

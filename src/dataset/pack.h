@@ -44,6 +44,7 @@
 
 #include "dataset/decode.h"
 #include "dataset/trace.h"
+#include "dataset/trace_batch.h"
 
 namespace mum::dataset {
 
@@ -73,6 +74,12 @@ std::uint64_t pack_checksum(std::string_view bytes) noexcept;
 
 // Serialize a snapshot as a v3 pack (always succeeds; deterministic bytes).
 std::string serialize_pack(const Snapshot& snapshot);
+
+// Columnar writer: a TraceBatch's columns ARE the pack sections, so this is
+// section-table bookkeeping plus one memcpy per column (the RTT column is
+// the only per-element pass — quantization to ms*1000). Byte-identical to
+// serialize_pack(batch.to_snapshot()).
+std::string serialize_pack(const SnapshotBatch& snapshot);
 
 // Zero-copy validated view over pack bytes (an mmap or any buffer). The
 // view borrows: `bytes` must outlive it. Strict mode returns nullopt on the
@@ -106,6 +113,10 @@ class PackView {
   Trace trace(std::size_t i) const;
   // Materialize every valid record into a Snapshot.
   Snapshot to_snapshot() const;
+  // Columnar ingest: when every record is valid this is a column copy into
+  // the batch arena (no per-record slicing); damaged packs fall back to
+  // appending valid records one by one. Equivalent traces to to_snapshot().
+  SnapshotBatch to_snapshot_batch() const;
 
  private:
   const char* u32_col(PackSection s) const noexcept;

@@ -1,0 +1,227 @@
+#include "dataset/trace_batch.h"
+
+namespace mum::dataset {
+
+namespace {
+// A shard's worth of traces runs a few hundred KB of columns; start the
+// private arena there so single-batch users reach steady state in one chunk.
+constexpr std::size_t kOwnedArenaChunk = 256 * 1024;
+}  // namespace
+
+TraceBatch::TraceBatch()
+    : owned_(std::make_unique<util::Arena>(kOwnedArenaChunk)),
+      arena_(owned_.get()) {
+  init_columns();
+}
+
+TraceBatch::TraceBatch(util::Arena& arena) : arena_(&arena) { init_columns(); }
+
+void TraceBatch::init_columns() {
+  monitor_ = util::ArenaVector<std::uint32_t>(*arena_);
+  src_ = util::ArenaVector<std::uint32_t>(*arena_);
+  dst_ = util::ArenaVector<std::uint32_t>(*arena_);
+  dst_asn_ = util::ArenaVector<std::uint32_t>(*arena_);
+  reached_ = util::ArenaVector<std::uint8_t>(*arena_);
+  hop_off_ = util::ArenaVector<std::uint64_t>(*arena_);
+  hop_addr_ = util::ArenaVector<std::uint32_t>(*arena_);
+  hop_rtt_ = util::ArenaVector<double>(*arena_);
+  hop_asn_ = util::ArenaVector<std::uint32_t>(*arena_);
+  lse_off_ = util::ArenaVector<std::uint64_t>(*arena_);
+  lse_pool_ = util::ArenaVector<std::uint32_t>(*arena_);
+  hop_off_.push_back(0);
+  lse_off_.push_back(0);
+}
+
+void TraceBatch::reserve(std::size_t traces, std::size_t hops,
+                         std::size_t lses) {
+  monitor_.reserve(traces);
+  src_.reserve(traces);
+  dst_.reserve(traces);
+  dst_asn_.reserve(traces);
+  reached_.reserve(traces);
+  hop_off_.reserve(traces + 1);
+  hop_addr_.reserve(hops);
+  hop_rtt_.reserve(hops);
+  hop_asn_.reserve(hops);
+  lse_off_.reserve(hops + 1);
+  lse_pool_.reserve(lses);
+}
+
+void TraceBatch::clear() {
+  monitor_.clear();
+  src_.clear();
+  dst_.clear();
+  dst_asn_.clear();
+  reached_.clear();
+  hop_off_.clear();
+  hop_addr_.clear();
+  hop_rtt_.clear();
+  hop_asn_.clear();
+  lse_off_.clear();
+  lse_pool_.clear();
+  hop_off_.push_back(0);
+  lse_off_.push_back(0);
+}
+
+void TraceBatch::begin_trace(std::uint32_t monitor_id, net::Ipv4Addr src,
+                             net::Ipv4Addr dst, std::uint32_t dst_asn) {
+  monitor_.push_back(monitor_id);
+  src_.push_back(src.value());
+  dst_.push_back(dst.value());
+  dst_asn_.push_back(dst_asn);
+}
+
+void TraceBatch::add_hop(net::Ipv4Addr addr, double rtt_ms,
+                         std::uint32_t asn) {
+  hop_addr_.push_back(addr.value());
+  hop_rtt_.push_back(rtt_ms);
+  hop_asn_.push_back(asn);
+  // The hop starts label-less; add_label advances this end marker.
+  lse_off_.push_back(lse_pool_.size());
+}
+
+void TraceBatch::add_label(std::uint32_t lse_word) {
+  lse_pool_.push_back(lse_word);
+  lse_off_.back() = lse_pool_.size();
+}
+
+void TraceBatch::end_trace(bool reached) {
+  reached_.push_back(reached ? 1 : 0);
+  hop_off_.push_back(hop_addr_.size());
+}
+
+void TraceBatch::append(const Trace& trace) {
+  begin_trace(trace.monitor_id, trace.src, trace.dst, trace.dst_asn);
+  for (const TraceHop& hop : trace.hops) {
+    add_hop(hop.addr, hop.rtt_ms, hop.asn);
+    for (const auto& lse : hop.labels.entries()) add_label(lse.encode());
+  }
+  end_trace(trace.reached);
+}
+
+void TraceBatch::append(const TraceBatch& other) {
+  const std::uint64_t hop_base = hop_addr_.size();
+  const std::uint64_t lse_base = lse_pool_.size();
+
+  monitor_.append(other.monitor_.span());
+  src_.append(other.src_.span());
+  dst_.append(other.dst_.span());
+  dst_asn_.append(other.dst_asn_.span());
+  reached_.append(other.reached_.span());
+  hop_addr_.append(other.hop_addr_.span());
+  hop_rtt_.append(other.hop_rtt_.span());
+  hop_asn_.append(other.hop_asn_.span());
+  lse_pool_.append(other.lse_pool_.span());
+
+  // Offset columns: skip the leading zero, rebase into this batch's pools.
+  std::size_t at = hop_off_.size();
+  hop_off_.append(other.hop_off_.span().subspan(1));
+  for (; at < hop_off_.size(); ++at) hop_off_[at] += hop_base;
+  at = lse_off_.size();
+  lse_off_.append(other.lse_off_.span().subspan(1));
+  for (; at < lse_off_.size(); ++at) lse_off_[at] += lse_base;
+}
+
+void TraceBatch::assign_columns(std::span<const std::uint32_t> monitor,
+                                std::span<const std::uint32_t> src,
+                                std::span<const std::uint32_t> dst,
+                                std::span<const std::uint8_t> reached,
+                                std::span<const std::uint64_t> hop_off,
+                                std::span<const std::uint32_t> hop_addr,
+                                std::span<const std::uint32_t> hop_rtt_q,
+                                std::span<const std::uint64_t> lse_off,
+                                std::span<const std::uint32_t> lse_pool) {
+  clear();
+  reserve(monitor.size(), hop_addr.size(), lse_pool.size());
+  monitor_.append(monitor);
+  src_.append(src);
+  dst_.append(dst);
+  reached_.append(reached);
+  hop_addr_.append(hop_addr);
+  lse_pool_.append(lse_pool);
+  hop_off_.clear();
+  hop_off_.append(hop_off);
+  lse_off_.clear();
+  lse_off_.append(lse_off);
+  // Annotations are not persisted in the pack; zero-fill like a fresh run.
+  for (std::size_t i = 0; i < monitor.size(); ++i) dst_asn_.push_back(0);
+  for (std::size_t h = 0; h < hop_addr.size(); ++h) {
+    hop_asn_.push_back(0);
+    hop_rtt_.push_back(static_cast<double>(hop_rtt_q[h]) / 1000.0);
+  }
+}
+
+Trace TraceBatch::to_trace(std::size_t i) const {
+  const TraceView v = view(i);
+  Trace t;
+  t.monitor_id = v.monitor_id();
+  t.src = v.src();
+  t.dst = v.dst();
+  t.dst_asn = v.dst_asn();
+  t.reached = v.reached();
+  const std::size_t n = v.hop_count();
+  t.hops.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const HopView h = v.hop(k);
+    TraceHop& out = t.hops[k];
+    out.addr = h.addr();
+    out.rtt_ms = h.rtt_ms();
+    out.asn = h.asn();
+    if (h.has_labels()) out.labels = h.label_stack();
+  }
+  return t;
+}
+
+std::vector<Trace> TraceBatch::to_traces() const {
+  std::vector<Trace> out;
+  out.reserve(trace_count());
+  for (std::size_t i = 0; i < trace_count(); ++i) {
+    out.push_back(to_trace(i));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> HopView::labels() const {
+  const auto words = lse_words();
+  std::vector<std::uint32_t> out;
+  out.reserve(words.size());
+  for (const std::uint32_t w : words) out.push_back(w >> 12);
+  return out;
+}
+
+net::LabelStack HopView::label_stack() const {
+  const auto words = lse_words();
+  std::vector<net::LabelStackEntry> entries;
+  entries.reserve(words.size());
+  for (const std::uint32_t w : words) {
+    entries.push_back(net::LabelStackEntry::decode(w));
+  }
+  return net::LabelStack(std::move(entries));
+}
+
+Snapshot SnapshotBatch::to_snapshot() const {
+  Snapshot snap;
+  snap.cycle_id = cycle_id;
+  snap.sub_index = sub_index;
+  snap.date = date;
+  snap.traces = traces.to_traces();
+  return snap;
+}
+
+SnapshotBatch SnapshotBatch::from_snapshot(const Snapshot& snapshot) {
+  SnapshotBatch out;
+  out.cycle_id = snapshot.cycle_id;
+  out.sub_index = snapshot.sub_index;
+  out.date = snapshot.date;
+  std::size_t hops = 0;
+  std::size_t lses = 0;
+  for (const Trace& t : snapshot.traces) {
+    hops += t.hops.size();
+    for (const TraceHop& h : t.hops) lses += h.labels.depth();
+  }
+  out.traces.reserve(snapshot.traces.size(), hops, lses);
+  for (const Trace& t : snapshot.traces) out.traces.append(t);
+  return out;
+}
+
+}  // namespace mum::dataset

@@ -1,0 +1,280 @@
+// Arena-backed structure-of-arrays trace storage — the measurement-plane
+// mirror of the v3 pack layout (pack.h).
+//
+// A TraceBatch holds one snapshot's traces as contiguous columns carved from
+// a util::Arena: fixed per-trace fields (monitor, src, dst, dst_asn,
+// reached), a prefix-sum hop-offset column, per-hop columns (addr, rtt,
+// asn), a prefix-sum LSE-offset column, and one shared pool of RFC 3032
+// label-stack words replacing per-hop heap-owning LabelStack vectors. The
+// column set and ordering deliberately match PackSection, so serializing a
+// batch to a .mump pack is a column memcpy (pack.cpp) and ingesting a pack
+// is the inverse — no per-record re-encoding on either side.
+//
+// Offsets are ends-exclusive prefix sums with a leading zero (trace i owns
+// hops [hop_off[i], hop_off[i+1]); hop h owns LSE words [lse_off[h],
+// lse_off[h+1])) — the exact shape the pack's offset sections carry.
+//
+// RTTs are stored as the raw doubles the trace engine produced, NOT the
+// pack's millisecond-quantized u32s: the batch must materialize Traces
+// byte-identical to the legacy heap path, and quantization is a
+// serialization concern (it happens in serialize_pack, for batch and
+// legacy alike).
+//
+// Arena ownership: a default-constructed batch owns a private arena; the
+// borrowing constructor carves from a caller-owned arena that the caller
+// resets between uses (the per-monitor shard pattern in
+// gen::CampaignRunner::snapshot_batch — steady state allocates nothing).
+// Only trivially-copyable column data lives in the arena, so moving a batch
+// is a pointer copy and dropping one runs no per-trace destructors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/trace.h"
+#include "net/ipv4.h"
+#include "net/lse.h"
+#include "util/arena.h"
+
+namespace mum::dataset {
+
+class TraceBatch;
+
+// Lightweight accessor for one hop of a batch (index into the hop columns).
+class HopView {
+ public:
+  HopView(const TraceBatch* batch, std::size_t hop) noexcept
+      : batch_(batch), hop_(hop) {}
+
+  net::Ipv4Addr addr() const noexcept;
+  double rtt_ms() const noexcept;
+  std::uint32_t asn() const noexcept;
+  bool anonymous() const noexcept { return addr() == net::kAnonymousAddr; }
+  std::size_t label_depth() const noexcept;
+  bool has_labels() const noexcept { return label_depth() != 0; }
+  // RFC 3032 wire words of the quoted stack, top first.
+  std::span<const std::uint32_t> lse_words() const noexcept;
+  // Label values, top first (what LPR compares).
+  std::vector<std::uint32_t> labels() const;
+  // Materialize a heap LabelStack (compat / conversion layer only).
+  net::LabelStack label_stack() const;
+
+ private:
+  const TraceBatch* batch_;
+  std::size_t hop_;  // global hop index within the batch
+};
+
+// Lightweight accessor for one trace of a batch.
+class TraceView {
+ public:
+  TraceView(const TraceBatch* batch, std::size_t index) noexcept
+      : batch_(batch), index_(index) {}
+
+  std::uint32_t monitor_id() const noexcept;
+  net::Ipv4Addr src() const noexcept;
+  net::Ipv4Addr dst() const noexcept;
+  std::uint32_t dst_asn() const noexcept;
+  bool reached() const noexcept;
+  std::size_t hop_count() const noexcept;
+  // k-th hop of this trace (k in [0, hop_count())).
+  HopView hop(std::size_t k) const noexcept;
+  // Global index of this trace's first hop in the hop columns.
+  std::size_t first_hop() const noexcept;
+
+ private:
+  const TraceBatch* batch_;
+  std::size_t index_;
+};
+
+class TraceBatch {
+ public:
+  // Owns a private arena sized for a monitor-shard's worth of traces.
+  TraceBatch();
+  // Borrows `arena`; the caller resets it between batch lifetimes.
+  explicit TraceBatch(util::Arena& arena);
+
+  TraceBatch(TraceBatch&&) noexcept = default;
+  TraceBatch& operator=(TraceBatch&&) noexcept = default;
+  TraceBatch(const TraceBatch&) = delete;
+  TraceBatch& operator=(const TraceBatch&) = delete;
+
+  std::size_t trace_count() const noexcept { return monitor_.size(); }
+  std::size_t hop_count() const noexcept { return hop_addr_.size(); }
+  std::size_t lse_count() const noexcept { return lse_pool_.size(); }
+  bool empty() const noexcept { return monitor_.empty(); }
+
+  // Pre-size every column (counts, not bytes). The offset columns get one
+  // extra slot for the leading zero.
+  void reserve(std::size_t traces, std::size_t hops, std::size_t lses);
+  // Drop all records, keep column capacity (pair with Arena::reset only
+  // when the arena is private to this batch).
+  void clear();
+
+  // --- append protocol (no interleaving between traces) ------------------
+  // begin_trace, then per hop: add_hop followed by its add_label calls,
+  // then end_trace.
+  void begin_trace(std::uint32_t monitor_id, net::Ipv4Addr src,
+                   net::Ipv4Addr dst, std::uint32_t dst_asn = 0);
+  void add_hop(net::Ipv4Addr addr, double rtt_ms, std::uint32_t asn = 0);
+  // Append one RFC 3032 word to the stack of the hop added last.
+  void add_label(std::uint32_t lse_word);
+  void end_trace(bool reached);
+
+  // AoS compat: append a heap Trace (including its annotations).
+  void append(const Trace& trace);
+  // Column-wise merge: append every trace of `other`, rebasing offsets.
+  void append(const TraceBatch& other);
+
+  // Bulk load from raw (host-order) columns — the pack ingest path. The
+  // offset columns include their leading zero; rtt arrives quantized
+  // (milliseconds * 1000) exactly as the pack stores it.
+  void assign_columns(std::span<const std::uint32_t> monitor,
+                      std::span<const std::uint32_t> src,
+                      std::span<const std::uint32_t> dst,
+                      std::span<const std::uint8_t> reached,
+                      std::span<const std::uint64_t> hop_off,
+                      std::span<const std::uint32_t> hop_addr,
+                      std::span<const std::uint32_t> hop_rtt_quantized,
+                      std::span<const std::uint64_t> lse_off,
+                      std::span<const std::uint32_t> lse_pool);
+
+  // --- views and conversions ---------------------------------------------
+  TraceView view(std::size_t i) const noexcept { return TraceView(this, i); }
+  Trace to_trace(std::size_t i) const;
+  std::vector<Trace> to_traces() const;
+
+  // --- raw columns (serialization + annotate) ----------------------------
+  std::span<const std::uint32_t> monitor_col() const noexcept {
+    return monitor_.span();
+  }
+  std::span<const std::uint32_t> src_col() const noexcept {
+    return src_.span();
+  }
+  std::span<const std::uint32_t> dst_col() const noexcept {
+    return dst_.span();
+  }
+  std::span<const std::uint32_t> dst_asn_col() const noexcept {
+    return dst_asn_.span();
+  }
+  std::span<const std::uint8_t> reached_col() const noexcept {
+    return reached_.span();
+  }
+  // Size trace_count()+1; leading zero.
+  std::span<const std::uint64_t> hop_off_col() const noexcept {
+    return hop_off_.span();
+  }
+  std::span<const std::uint32_t> hop_addr_col() const noexcept {
+    return hop_addr_.span();
+  }
+  std::span<const double> hop_rtt_col() const noexcept {
+    return hop_rtt_.span();
+  }
+  std::span<const std::uint32_t> hop_asn_col() const noexcept {
+    return hop_asn_.span();
+  }
+  // Size hop_count()+1; leading zero.
+  std::span<const std::uint64_t> lse_off_col() const noexcept {
+    return lse_off_.span();
+  }
+  std::span<const std::uint32_t> lse_pool_col() const noexcept {
+    return lse_pool_.span();
+  }
+
+  // Mutable annotation columns (dataset::Ip2As::annotate writes these).
+  std::span<std::uint32_t> dst_asn_mut() noexcept {
+    return dst_asn_.mutable_span();
+  }
+  std::span<std::uint32_t> hop_asn_mut() noexcept {
+    return hop_asn_.mutable_span();
+  }
+
+  const util::Arena& arena() const noexcept { return *arena_; }
+
+ private:
+  void init_columns();
+
+  std::unique_ptr<util::Arena> owned_;  // null when borrowing
+  util::Arena* arena_ = nullptr;
+
+  util::ArenaVector<std::uint32_t> monitor_;
+  util::ArenaVector<std::uint32_t> src_;
+  util::ArenaVector<std::uint32_t> dst_;
+  util::ArenaVector<std::uint32_t> dst_asn_;
+  util::ArenaVector<std::uint8_t> reached_;
+  util::ArenaVector<std::uint64_t> hop_off_;
+  util::ArenaVector<std::uint32_t> hop_addr_;
+  util::ArenaVector<double> hop_rtt_;
+  util::ArenaVector<std::uint32_t> hop_asn_;
+  util::ArenaVector<std::uint64_t> lse_off_;
+  util::ArenaVector<std::uint32_t> lse_pool_;
+};
+
+// A Snapshot with columnar trace storage; the batch analogue of
+// dataset::Snapshot.
+struct SnapshotBatch {
+  std::uint32_t cycle_id = 0;
+  std::uint32_t sub_index = 0;
+  std::string date;
+  TraceBatch traces;
+
+  std::size_t trace_count() const noexcept { return traces.trace_count(); }
+
+  // Materialize the legacy heap form (byte-identical downstream behaviour —
+  // the conversion preserves every field including annotations and raw
+  // double RTTs).
+  Snapshot to_snapshot() const;
+  static SnapshotBatch from_snapshot(const Snapshot& snapshot);
+};
+
+// --- inline view accessors (definitions need TraceBatch complete) ---------
+
+inline net::Ipv4Addr HopView::addr() const noexcept {
+  return net::Ipv4Addr(batch_->hop_addr_col()[hop_]);
+}
+inline double HopView::rtt_ms() const noexcept {
+  return batch_->hop_rtt_col()[hop_];
+}
+inline std::uint32_t HopView::asn() const noexcept {
+  return batch_->hop_asn_col()[hop_];
+}
+inline std::size_t HopView::label_depth() const noexcept {
+  const auto off = batch_->lse_off_col();
+  return static_cast<std::size_t>(off[hop_ + 1] - off[hop_]);
+}
+inline std::span<const std::uint32_t> HopView::lse_words() const noexcept {
+  const auto off = batch_->lse_off_col();
+  return batch_->lse_pool_col().subspan(
+      static_cast<std::size_t>(off[hop_]),
+      static_cast<std::size_t>(off[hop_ + 1] - off[hop_]));
+}
+
+inline std::uint32_t TraceView::monitor_id() const noexcept {
+  return batch_->monitor_col()[index_];
+}
+inline net::Ipv4Addr TraceView::src() const noexcept {
+  return net::Ipv4Addr(batch_->src_col()[index_]);
+}
+inline net::Ipv4Addr TraceView::dst() const noexcept {
+  return net::Ipv4Addr(batch_->dst_col()[index_]);
+}
+inline std::uint32_t TraceView::dst_asn() const noexcept {
+  return batch_->dst_asn_col()[index_];
+}
+inline bool TraceView::reached() const noexcept {
+  return batch_->reached_col()[index_] != 0;
+}
+inline std::size_t TraceView::first_hop() const noexcept {
+  return static_cast<std::size_t>(batch_->hop_off_col()[index_]);
+}
+inline std::size_t TraceView::hop_count() const noexcept {
+  const auto off = batch_->hop_off_col();
+  return static_cast<std::size_t>(off[index_ + 1] - off[index_]);
+}
+inline HopView TraceView::hop(std::size_t k) const noexcept {
+  return HopView(batch_, first_hop() + k);
+}
+
+}  // namespace mum::dataset

@@ -194,6 +194,48 @@ std::string serialize_snapshot(const Snapshot& snapshot) {
   return serialize_snapshot(snapshot, kWartsLiteVersion);
 }
 
+std::string serialize_snapshot(const SnapshotBatch& snapshot,
+                               std::uint8_t version) {
+  // v2 encode straight off the batch views — no AoS materialization. The
+  // output matches serialize_snapshot(snapshot.to_snapshot(), version)
+  // byte for byte (same fields, same varint framing).
+  std::string out;
+  out.append(kWartsLiteMagic, sizeof kWartsLiteMagic);
+  put_u8(out, version);
+  put_varint(out, snapshot.cycle_id);
+  put_varint(out, snapshot.sub_index);
+  put_string(out, snapshot.date);
+  put_varint(out, snapshot.trace_count());
+  std::string record;
+  for (std::size_t i = 0; i < snapshot.trace_count(); ++i) {
+    const TraceView t = snapshot.traces.view(i);
+    std::string& sink = version >= 2 ? record : out;
+    if (version >= 2) record.clear();
+    put_varint(sink, t.monitor_id());
+    put_u32(sink, t.src().value());
+    put_u32(sink, t.dst().value());
+    put_u8(sink, t.reached() ? 1 : 0);
+    put_varint(sink, t.hop_count());
+    for (std::size_t k = 0; k < t.hop_count(); ++k) {
+      const HopView h = t.hop(k);
+      put_u32(sink, h.addr().value());
+      put_u32(sink,
+              static_cast<std::uint32_t>(std::lround(h.rtt_ms() * 1000.0)));
+      put_varint(sink, h.label_depth());
+      for (const std::uint32_t word : h.lse_words()) put_u32(sink, word);
+    }
+    if (version >= 2) {
+      put_varint(out, record.size());
+      out.append(record);
+    }
+  }
+  return out;
+}
+
+std::string serialize_snapshot(const SnapshotBatch& snapshot) {
+  return serialize_snapshot(snapshot, kWartsLiteVersion);
+}
+
 std::optional<Snapshot> parse_snapshot_v2(std::string_view bytes,
                                           const DecodeOptions& options,
                                           DecodeDiagnostics* diagnostics) {

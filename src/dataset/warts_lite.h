@@ -37,6 +37,7 @@
 
 #include "dataset/decode.h"
 #include "dataset/trace.h"
+#include "dataset/trace_batch.h"
 
 namespace mum::dataset {
 
@@ -53,6 +54,11 @@ std::string serialize_snapshot(const Snapshot& snapshot);
 // Serialize at an explicit format version (1 or 2) — for compatibility
 // tests and for producing archives older readers understand.
 std::string serialize_snapshot(const Snapshot& snapshot,
+                               std::uint8_t version);
+// Batch forms: encode straight off TraceView/HopView spans, byte-identical
+// to serializing the materialized snapshot.
+std::string serialize_snapshot(const SnapshotBatch& snapshot);
+std::string serialize_snapshot(const SnapshotBatch& snapshot,
                                std::uint8_t version);
 
 // Strict decode: nullopt on the first malformed field (bad magic/version/

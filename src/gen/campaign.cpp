@@ -1,8 +1,17 @@
 #include "gen/campaign.h"
 
+#include "obs/telemetry.h"
+#include "probe/forwarder.h"
 #include "probe/traceroute.h"
+#include "util/arena.h"
 
 namespace mum::gen {
+
+struct CampaignRunner::MonitorShard {
+  util::Arena arena;
+  probe::WalkResult walk;
+  Internet::PathScratch path;
+};
 
 CampaignRunner::CampaignRunner(const Internet& internet,
                                const dataset::Ip2As& ip2as,
@@ -12,6 +21,11 @@ CampaignRunner::CampaignRunner(const Internet& internet,
       config_(std::move(config)),
       pool_(pool) {}
 
+CampaignRunner::~CampaignRunner() = default;
+CampaignRunner::CampaignRunner(CampaignRunner&&) noexcept = default;
+CampaignRunner& CampaignRunner::operator=(CampaignRunner&&) noexcept =
+    default;
+
 dataset::Snapshot CampaignRunner::snapshot(MonthContext& ctx, int cycle,
                                            int sub_index) const {
   return snapshot(ctx, cycle, sub_index, config_);
@@ -20,6 +34,10 @@ dataset::Snapshot CampaignRunner::snapshot(MonthContext& ctx, int cycle,
 dataset::Snapshot CampaignRunner::snapshot(
     MonthContext& ctx, int cycle, int sub_index,
     const CampaignConfig& config) const {
+  if (config.batch) {
+    return snapshot_batch(ctx, cycle, sub_index, config).to_snapshot();
+  }
+
   const Internet& internet = *internet_;
   dataset::Snapshot snap;
   snap.cycle_id = static_cast<std::uint32_t>(cycle);
@@ -85,6 +103,117 @@ dataset::Snapshot CampaignRunner::snapshot(
   }
 
   ip2as_->annotate(snap.traces);
+  return snap;
+}
+
+dataset::SnapshotBatch CampaignRunner::snapshot_batch(MonthContext& ctx,
+                                                      int cycle,
+                                                      int sub_index) const {
+  return snapshot_batch(ctx, cycle, sub_index, config_);
+}
+
+dataset::SnapshotBatch CampaignRunner::snapshot_batch(
+    MonthContext& ctx, int cycle, int sub_index,
+    const CampaignConfig& config) const {
+  const Internet& internet = *internet_;
+  dataset::SnapshotBatch snap;
+  snap.cycle_id = static_cast<std::uint32_t>(cycle);
+  snap.sub_index = static_cast<std::uint32_t>(sub_index);
+  snap.date = cycle_date(cycle);
+
+  ctx.apply_flaps(sub_index, internet.config().ecmp_flap_prob);
+
+  const auto& monitors = internet.monitors();
+  const auto& dests = internet.destinations();
+  const std::size_t n_monitors = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(monitors.size()) * config.monitor_share));
+
+  // Same observation-noise lineage as the heap path: byte-identity between
+  // the two rests on every monitor consuming the identical draw sequence.
+  const util::Rng noise_base(util::hash_combine(
+      internet.config().seed,
+      util::hash_combine(0xABCDull + cycle, sub_index)));
+
+  const int per_monitor = internet.config().dests_per_monitor;
+  const int overlap = std::max(1, internet.config().dest_overlap);
+
+  // Shard arenas are grown serially, then reset and lent to one TraceBatch
+  // each: after the first snapshot every column re-carves the same chunks,
+  // so the probe loop's steady state performs no heap allocation.
+  while (shards_.size() < n_monitors) {
+    shards_.push_back(std::make_unique<MonitorShard>());
+  }
+  std::vector<dataset::TraceBatch> blocks;
+  blocks.reserve(n_monitors);
+  for (std::size_t mi = 0; mi < n_monitors; ++mi) {
+    shards_[mi]->arena.reset();
+    blocks.emplace_back(shards_[mi]->arena);
+  }
+
+  util::parallel_for(pool_, n_monitors, [&](std::size_t mi) {
+    const probe::Monitor& monitor = monitors[mi];
+    util::Rng rng = noise_base.fork(mi);
+    dataset::TraceBatch& out = blocks[mi];
+    probe::WalkResult& walk = shards_[mi]->walk;
+    Internet::PathScratch& path = shards_[mi]->path;
+    int probed = 0;
+    for (int o = 0; o < overlap && probed < per_monitor; ++o) {
+      const std::size_t lane =
+          (mi + monitors.size() - static_cast<std::size_t>(o)) %
+          monitors.size();
+      const int per_dest = std::max(1, internet.config().probes_per_dest);
+      for (std::size_t d = lane; d < dests.size() && probed < per_monitor;
+           d += monitors.size(), ++probed) {
+        for (int pp = 0; pp < per_dest; ++pp) {
+          Destination dest = dests[d];
+          dest.addr = net::Ipv4Addr(dest.addr.value() +
+                                    static_cast<std::uint32_t>(pp) * 128);
+          if (!internet.path_spec(monitor, dest, ctx, path)) continue;
+          probe::trace_route_into(monitor, path.path, config.trace, rng,
+                                  out, &walk);
+        }
+      }
+    }
+  });
+
+  // Column-wise merge in monitor order into the snapshot's private arena —
+  // one exact reserve, then bulk appends with offset rebasing.
+  std::size_t traces = 0, hops = 0, lses = 0;
+  for (const auto& block : blocks) {
+    traces += block.trace_count();
+    hops += block.hop_count();
+    lses += block.lse_count();
+  }
+  snap.traces.reserve(traces, hops, lses);
+  for (const auto& block : blocks) snap.traces.append(block);
+
+  ip2as_->annotate(snap.traces, asn_cache_);
+
+  // Arena telemetry — observed state only (obs/telemetry.h contract); the
+  // soak test asserts the high-water gauge stops climbing after warm-up.
+  static obs::Gauge& arena_capacity =
+      obs::registry().gauge("probe.arena.capacity_bytes");
+  static obs::Gauge& arena_high_water =
+      obs::registry().gauge("probe.arena.high_water_bytes");
+  static obs::Counter& arena_resets =
+      obs::registry().counter("probe.arena.resets");
+  static obs::Counter& batch_traces =
+      obs::registry().counter("probe.batch.traces");
+  static obs::Counter& batch_hops =
+      obs::registry().counter("probe.batch.hops");
+  std::uint64_t capacity = 0, high_water = 0;
+  for (std::size_t mi = 0; mi < n_monitors; ++mi) {
+    const util::Arena::Stats stats = shards_[mi]->arena.stats();
+    capacity += stats.capacity_bytes;
+    high_water += stats.high_water_bytes;
+  }
+  arena_capacity.max_of(static_cast<std::int64_t>(capacity));
+  arena_high_water.max_of(static_cast<std::int64_t>(high_water));
+  arena_resets.add(n_monitors);
+  batch_traces.add(traces);
+  batch_hops.add(hops);
+
   return snap;
 }
 

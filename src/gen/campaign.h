@@ -16,9 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "dataset/ip2as.h"
 #include "dataset/trace.h"
+#include "dataset/trace_batch.h"
 #include "gen/evolve.h"
 #include "gen/internet.h"
 #include "util/thread_pool.h"
@@ -30,6 +33,12 @@ struct CampaignConfig {
   probe::TraceOptions trace;
   // Fraction of the monitor fleet active (varies day-to-day in Fig. 16).
   double monitor_share = 1.0;
+  // Measurement path. On (the default), each monitor writes an arena-backed
+  // SoA dataset::TraceBatch shard and shards merge column-wise in monitor
+  // order; snapshot() materializes heap Traces from the merged batch. Off
+  // runs the original heap-Trace path. Output is byte-identical either way
+  // — the heap path is the batch path's oracle (tests/test_batch.cpp).
+  bool batch = true;
 };
 
 class CampaignRunner {
@@ -39,6 +48,9 @@ class CampaignRunner {
   CampaignRunner(const Internet& internet, const dataset::Ip2As& ip2as,
                  CampaignConfig config = {},
                  util::ThreadPool* pool = nullptr);
+  ~CampaignRunner();  // out-of-line: MonitorShard is incomplete here
+  CampaignRunner(CampaignRunner&&) noexcept;
+  CampaignRunner& operator=(CampaignRunner&&) noexcept;
 
   const CampaignConfig& config() const noexcept { return config_; }
   const Internet& internet() const noexcept { return *internet_; }
@@ -51,6 +63,20 @@ class CampaignRunner {
   // Same, with a per-call config override (daily fleet-size wobble).
   dataset::Snapshot snapshot(MonthContext& ctx, int cycle, int sub_index,
                              const CampaignConfig& config) const;
+
+  // Columnar form of snapshot(): monitors probe into per-shard arena
+  // batches (cached on the runner and reset between snapshots, so the
+  // steady state of a month allocates nothing in the probe loop), merged
+  // column-wise in monitor order and ip2as-annotated. snapshot() with
+  // config.batch on is exactly this plus to_snapshot().
+  //
+  // Like snapshot(), not safe to call concurrently on one runner (both
+  // mutate `ctx`; this one also reuses the runner's shard arenas).
+  dataset::SnapshotBatch snapshot_batch(MonthContext& ctx, int cycle,
+                                        int sub_index) const;
+  dataset::SnapshotBatch snapshot_batch(MonthContext& ctx, int cycle,
+                                        int sub_index,
+                                        const CampaignConfig& config) const;
 
   // Full month: cycle snapshot + extra snapshots, advancing label dynamics
   // between runs.
@@ -66,10 +92,21 @@ class CampaignRunner {
   std::vector<dataset::Snapshot> daily_month(int cycle, int days) const;
 
  private:
+  // Per-monitor probe scratch: an arena the shard's TraceBatch carves from
+  // plus a reusable forwarder walk buffer. Cached across snapshots so arena
+  // high-water stabilizes after the first snapshot (the soak test gates
+  // this via the probe.arena.* gauges).
+  struct MonitorShard;
+
   const Internet* internet_;
   const dataset::Ip2As* ip2as_;
   CampaignConfig config_;
   util::ThreadPool* pool_;
+  mutable std::vector<std::unique_ptr<MonitorShard>> shards_;
+  // Warm addr -> asn memo shared by every snapshot of the campaign (the
+  // ip2as table is fixed for the runner's lifetime). Same non-reentrancy
+  // contract as shards_: one snapshot_batch at a time per runner.
+  mutable dataset::AsnCache asn_cache_;
 };
 
 }  // namespace mum::gen

@@ -874,11 +874,23 @@ MonthContext Internet::instantiate(int cycle, int day_of_month,
 std::optional<probe::PathSpec> Internet::path_spec(
     const probe::Monitor& monitor, const Destination& dest,
     const MonthContext& ctx) const {
-  const std::uint32_t src_asn = monitor_asn_.at(monitor.id);
-  const auto as_path = graph_.route(src_asn, dest.asn);
-  if (as_path.empty()) return std::nullopt;
+  PathScratch scratch;
+  if (!path_spec(monitor, dest, ctx, scratch)) return std::nullopt;
+  return std::move(scratch.path);
+}
 
-  probe::PathSpec path;
+bool Internet::path_spec(const probe::Monitor& monitor,
+                         const Destination& dest, const MonthContext& ctx,
+                         PathScratch& scratch) const {
+  const std::uint32_t src_asn = monitor_asn_.at(monitor.id);
+  std::vector<std::uint32_t>& as_path = scratch.as_path;
+  graph_.route(src_asn, dest.asn, as_path);
+  if (as_path.empty()) return false;
+
+  probe::PathSpec& path = scratch.path;
+  path.pre_hops.clear();
+  path.segments.clear();
+  path.post_hops.clear();
   path.dst = dest.addr;
   path.dst_responds =
       to01(util::hash_combine(dest.addr.value(),
@@ -910,7 +922,7 @@ std::optional<probe::PathSpec> Internet::path_spec(
     const ModeledAs* as = modeled(asn);
     probe::SegmentSpec seg;
     seg.plane = ctx.plane_of(asn);
-    if (seg.plane == nullptr) return std::nullopt;
+    if (seg.plane == nullptr) return false;
     // Hot-potato ingress: where a packet enters an AS is fixed by where it
     // comes FROM (the upstream handed it over at the interconnect nearest
     // the source), not by its destination — so one monitor funnels all its
@@ -931,7 +943,7 @@ std::optional<probe::PathSpec> Internet::path_spec(
     }
     path.segments.push_back(seg);
   }
-  return path;
+  return true;
 }
 
 }  // namespace mum::gen

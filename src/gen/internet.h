@@ -230,6 +230,17 @@ class Internet {
                                            const Destination& dest,
                                            const MonthContext& ctx) const;
 
+  // Scratch-reusing form for the per-probe hot loop: refills scratch.path
+  // (vector capacities kept, so steady state performs no heap allocation)
+  // and returns false when AS-level routing fails. Equivalent to the
+  // allocating overload above.
+  struct PathScratch {
+    probe::PathSpec path;
+    std::vector<std::uint32_t> as_path;
+  };
+  bool path_spec(const probe::Monitor& monitor, const Destination& dest,
+                 const MonthContext& ctx, PathScratch& scratch) const;
+
   // AS hosting monitor `id`.
   std::uint32_t monitor_asn(std::uint32_t monitor_id) const {
     return monitor_asn_.at(monitor_id);

@@ -12,50 +12,77 @@ std::string LabelStackEntry::to_string() const {
   return out;
 }
 
-LabelStack::LabelStack(std::vector<LabelStackEntry> entries)
-    : entries_(std::move(entries)) {
+LabelStack::LabelStack(std::vector<LabelStackEntry> entries) {
+  if (entries.size() <= kInlineDepth) {
+    size_ = static_cast<std::uint32_t>(entries.size());
+    std::copy(entries.begin(), entries.end(), inline_.begin());
+  } else {
+    spill_ = std::move(entries);
+    size_ = static_cast<std::uint32_t>(spill_.size());
+  }
   fix_bottom_flags();
 }
 
 void LabelStack::push(std::uint32_t label, std::uint8_t tc, std::uint8_t ttl) {
-  entries_.insert(entries_.begin(), LabelStackEntry(label, tc, false, ttl));
+  const LabelStackEntry e(label, tc, false, ttl);
+  if (!spill_.empty()) {
+    spill_.insert(spill_.begin(), e);
+  } else if (size_ < kInlineDepth) {
+    for (std::size_t i = size_; i > 0; --i) inline_[i] = inline_[i - 1];
+    inline_[0] = e;
+  } else {
+    // Inline is full: spill everything, new top first.
+    spill_.reserve(size_ + 1);
+    spill_.push_back(e);
+    spill_.insert(spill_.end(), inline_.begin(), inline_.end());
+  }
+  ++size_;
   fix_bottom_flags();
 }
 
 void LabelStack::pop() {
-  if (entries_.empty()) return;
-  entries_.erase(entries_.begin());
+  if (size_ == 0) return;
+  if (!spill_.empty()) {
+    spill_.erase(spill_.begin());
+    if (spill_.empty()) {
+      size_ = 0;
+      return;
+    }
+  } else {
+    for (std::size_t i = 1; i < size_; ++i) inline_[i - 1] = inline_[i];
+  }
+  --size_;
   fix_bottom_flags();
 }
 
 void LabelStack::swap_top(std::uint32_t label) {
-  if (entries_.empty()) return;
-  auto& top_entry = entries_.front();
+  if (size_ == 0) return;
+  auto& top_entry = data_mut()[0];
   top_entry = LabelStackEntry(label, top_entry.traffic_class(),
                               top_entry.bottom_of_stack(), top_entry.ttl());
 }
 
 std::vector<std::uint32_t> LabelStack::labels() const {
   std::vector<std::uint32_t> out;
-  out.reserve(entries_.size());
-  for (const auto& e : entries_) out.push_back(e.label());
+  out.reserve(size_);
+  for (const auto& e : entries()) out.push_back(e.label());
   return out;
 }
 
 std::string LabelStack::to_string() const {
   std::string out = "[";
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
+  const auto ents = entries();
+  for (std::size_t i = 0; i < ents.size(); ++i) {
     if (i) out += " | ";
-    out += entries_[i].to_string();
+    out += ents[i].to_string();
   }
   out += "]";
   return out;
 }
 
 void LabelStack::fix_bottom_flags() noexcept {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    entries_[i].set_bottom(i + 1 == entries_.size());
-  }
+  LabelStackEntry* p = data_mut();
+  for (std::size_t i = 0; i < size_; ++i) p[i].set_bottom(i + 1 == size_);
 }
 
 std::ostream& operator<<(std::ostream& os, const LabelStackEntry& lse) {

@@ -6,10 +6,13 @@
 // exactly those quoted stacks.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <compare>
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,18 +65,25 @@ class LabelStackEntry {
   std::uint8_t ttl_ = 0;
 };
 
-// A label stack, top first. `back()` must be the bottom-of-stack entry.
+// A label stack, top first. The last entry must be the bottom-of-stack one.
+//
+// Storage is small-inline: stacks of depth <= kInlineDepth (the ~99% case —
+// the paper's deepest observed stacks are LDP-over-TE 2-entry ones, plus one
+// for FRR detours) live inside the object; deeper stacks spill wholesale to
+// the heap. The spill vector, when non-empty, is the authoritative storage.
 class LabelStack {
  public:
+  static constexpr std::size_t kInlineDepth = 3;
+
   LabelStack() = default;
   explicit LabelStack(std::vector<LabelStackEntry> entries);
 
-  bool empty() const noexcept { return entries_.empty(); }
-  std::size_t depth() const noexcept { return entries_.size(); }
-  const LabelStackEntry& top() const { return entries_.front(); }
-  LabelStackEntry& top() { return entries_.front(); }
-  const std::vector<LabelStackEntry>& entries() const noexcept {
-    return entries_;
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t depth() const noexcept { return size_; }
+  const LabelStackEntry& top() const { return data()[0]; }
+  LabelStackEntry& top() { return data_mut()[0]; }
+  std::span<const LabelStackEntry> entries() const noexcept {
+    return {data(), size_};
   }
 
   // Push a new top entry; maintains bottom-of-stack flags.
@@ -88,11 +98,23 @@ class LabelStack {
 
   std::string to_string() const;
 
-  friend bool operator==(const LabelStack&, const LabelStack&) = default;
+  friend bool operator==(const LabelStack& a, const LabelStack& b) noexcept {
+    return a.size_ == b.size_ &&
+           std::equal(a.data(), a.data() + a.size_, b.data());
+  }
 
  private:
+  const LabelStackEntry* data() const noexcept {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  LabelStackEntry* data_mut() noexcept {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
   void fix_bottom_flags() noexcept;
-  std::vector<LabelStackEntry> entries_;
+
+  std::array<LabelStackEntry, kInlineDepth> inline_{};
+  std::uint32_t size_ = 0;
+  std::vector<LabelStackEntry> spill_;  // non-empty => holds all entries
 };
 
 std::ostream& operator<<(std::ostream& os, const LabelStackEntry& lse);

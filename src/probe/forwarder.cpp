@@ -221,24 +221,31 @@ std::optional<mpls::LspId> select_te_lsp(const AsDataPlane& plane,
 
 WalkResult walk_path(const PathSpec& path, std::uint64_t flow_hash) {
   WalkResult out;
+  walk_path(path, flow_hash, out);
+  return out;
+}
+
+void walk_path(const PathSpec& path, std::uint64_t flow_hash,
+               WalkResult& out) {
+  out.hops.clear();
+  out.reached = false;
   for (const net::Ipv4Addr addr : path.pre_hops) {
     append_plain_hop(out, addr, 0.8);
   }
   for (const SegmentSpec& seg : path.segments) {
     if (seg.plane == nullptr || seg.plane->topo == nullptr) {
       out.reached = false;
-      return out;
+      return;
     }
     if (!walk_segment(seg, path.dst, flow_hash, out)) {
       out.reached = false;
-      return out;
+      return;
     }
   }
   for (const net::Ipv4Addr addr : path.post_hops) {
     append_plain_hop(out, addr, 1.2);
   }
   out.reached = path.dst_responds;
-  return out;
 }
 
 }  // namespace mum::probe

@@ -110,6 +110,12 @@ struct WalkResult {
 // (unreachable egress) truncate the walk with reached=false.
 WalkResult walk_path(const PathSpec& path, std::uint64_t flow_hash);
 
+// Scratch-reusing form: clears and refills `out`, keeping its hop capacity.
+// The per-trace hot path (traceroute/mda emit loops) reuses one WalkResult
+// per worker so steady state performs no heap allocation here.
+void walk_path(const PathSpec& path, std::uint64_t flow_hash,
+               WalkResult& out);
+
 // ECMP next-hop choice used by the walk (exposed for tests): deterministic
 // in (flow, router, salt), uniform across next hops.
 std::size_t ecmp_pick(std::uint64_t flow_hash, topo::RouterId router,

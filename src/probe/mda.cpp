@@ -8,10 +8,11 @@ MdaResult discover_multipath(const PathSpec& path, std::uint64_t base_flow,
                              int flows) {
   MdaResult result;
   result.flows_probed = flows;
+  WalkResult walk;  // reused across flows; capacity stabilizes after one
   for (int f = 0; f < flows; ++f) {
     const std::uint64_t flow =
         util::hash_combine(base_flow, static_cast<std::uint64_t>(f));
-    const WalkResult walk = walk_path(path, flow);
+    walk_path(path, flow, walk);
 
     std::vector<net::Ipv4Addr> ip_path;
     std::vector<std::pair<net::Ipv4Addr, std::uint32_t>> labeled;

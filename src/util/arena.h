@@ -23,6 +23,16 @@ class Arena {
  public:
   static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
 
+  // Point-in-time view of the allocator, for telemetry export. high_water
+  // stabilizing while reset_count keeps climbing is the no-growth signal.
+  struct Stats {
+    std::size_t capacity_bytes = 0;    // sum of retained chunk sizes
+    std::size_t used_bytes = 0;        // handed out since the last reset
+    std::size_t high_water_bytes = 0;  // max used() seen across resets
+    std::size_t reset_count = 0;       // times reset() ran
+    std::size_t chunk_count = 0;
+  };
+
   explicit Arena(std::size_t min_chunk_bytes = kDefaultChunkBytes) noexcept
       : min_chunk_(min_chunk_bytes ? min_chunk_bytes : kDefaultChunkBytes) {}
 
@@ -33,13 +43,25 @@ class Arena {
 
   void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
 
+  // Typed SoA column allocation: value-constructed, with an optional
+  // alignment override (e.g. 64 for cacheline-aligned hot columns).
   template <class T>
-  std::span<T> make_array(std::size_t n) {
+  std::span<T> make_array(std::size_t n, std::size_t align = alignof(T)) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "Arena never runs destructors");
     if (n == 0) return {};
-    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    T* p = static_cast<T*>(allocate(n * sizeof(T), align));
     std::uninitialized_value_construct_n(p, n);
+    return {p, n};
+  }
+
+  // Same, but left uninitialized — for columns about to be memcpy-filled.
+  template <class T>
+  std::span<T> make_array_uninit(std::size_t n, std::size_t align = alignof(T)) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                  std::is_trivially_copyable_v<T>);
+    if (n == 0) return {};
+    T* p = static_cast<T*>(allocate(n * sizeof(T), align));
     return {p, n};
   }
 
@@ -58,6 +80,7 @@ class Arena {
     chunk_ = 0;
     offset_ = 0;
     used_ = 0;
+    ++reset_count_;
   }
 
   // Sum of chunk sizes currently held (never shrinks).
@@ -73,6 +96,12 @@ class Arena {
     return used_ > high_water_ ? used_ : high_water_;
   }
   std::size_t chunk_count() const noexcept { return chunks_.size(); }
+  std::size_t reset_count() const noexcept { return reset_count_; }
+
+  Stats stats() const noexcept {
+    return Stats{capacity(), used(), high_water(), reset_count(),
+                 chunk_count()};
+  }
 
  private:
   struct Chunk {
@@ -88,6 +117,7 @@ class Arena {
   std::size_t min_chunk_;
   std::size_t used_ = 0;
   std::size_t high_water_ = 0;
+  std::size_t reset_count_ = 0;
 };
 
 inline void* Arena::allocate(std::size_t bytes, std::size_t align) {
@@ -113,37 +143,58 @@ class ArenaVector {
                 std::is_trivially_destructible_v<T>);
 
  public:
+  // Detached: usable only after move-assignment from an attached vector.
+  ArenaVector() noexcept = default;
+
   explicit ArenaVector(Arena& arena, std::size_t initial_capacity = 0) noexcept
       : arena_(&arena), capacity_(initial_capacity) {
-    if (capacity_ > 0) data_ = arena_->make_array<T>(capacity_).data();
+    if (capacity_ > 0) data_ = arena_->make_array_uninit<T>(capacity_).data();
   }
 
   void push_back(const T& v) {
-    if (size_ == capacity_) grow();
+    if (size_ == capacity_) reserve(capacity_ ? capacity_ * 2 : 8);
     data_[size_++] = v;
+  }
+
+  // Grow capacity to at least `want` (old block is abandoned in the arena).
+  void reserve(std::size_t want) {
+    if (want <= capacity_) return;
+    T* fresh = arena_->make_array_uninit<T>(want).data();
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = want;
+  }
+
+  // Bulk append (the batch-merge hot path): one growth decision, one memcpy.
+  void append(std::span<const T> src) {
+    if (src.empty()) return;
+    if (size_ + src.size() > capacity_) {
+      std::size_t want = capacity_ ? capacity_ * 2 : 8;
+      while (want < size_ + src.size()) want *= 2;
+      reserve(want);
+    }
+    std::memcpy(data_ + size_, src.data(), src.size_bytes());
+    size_ += src.size();
   }
 
   T& operator[](std::size_t i) noexcept { return data_[i]; }
   const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T& back() noexcept { return data_[size_ - 1]; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
   T* begin() noexcept { return data_; }
   T* end() noexcept { return data_ + size_; }
   const T* begin() const noexcept { return data_; }
   const T* end() const noexcept { return data_ + size_; }
   std::span<const T> span() const noexcept { return {data_, size_}; }
+  std::span<T> mutable_span() noexcept { return {data_, size_}; }
   void clear() noexcept { size_ = 0; }  // keeps the current block
 
  private:
-  void grow() {
-    const std::size_t next = capacity_ ? capacity_ * 2 : 8;
-    T* fresh = arena_->make_array<T>(next).data();
-    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
-    data_ = fresh;
-    capacity_ = next;
-  }
-
-  Arena* arena_;
+  Arena* arena_ = nullptr;
   T* data_ = nullptr;
   std::size_t size_ = 0;
   std::size_t capacity_ = 0;

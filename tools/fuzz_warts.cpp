@@ -59,13 +59,31 @@ void run_one(const std::string& bytes) {
     check(again->traces.size() == tolerant->traces.size(),
           "salvaged snapshot loses traces on round trip");
     DecodeDiagnostics pack_clean;
+    const std::string pack_bytes = mum::dataset::serialize_pack(*tolerant);
     const auto packed = mum::dataset::parse_pack(
-        mum::dataset::serialize_pack(*tolerant),
-        DecodeOptions{.tolerant = true}, &pack_clean);
+        pack_bytes, DecodeOptions{.tolerant = true}, &pack_clean);
     check(packed.has_value(), "salvaged snapshot does not re-parse as pack");
     check(pack_clean.clean(), "salvaged pack re-parses with faults");
     check(packed->traces.size() == tolerant->traces.size(),
           "pack round trip loses traces");
+    // Batch arm: the columnar writer must agree with the AoS writer byte
+    // for byte on the salvage, and the zero-copy ingest must round-trip
+    // byte-stably (column memcpy in, column memcpy out).
+    mum::dataset::SnapshotBatch batch;
+    batch.cycle_id = tolerant->cycle_id;
+    batch.sub_index = tolerant->sub_index;
+    batch.date = tolerant->date;
+    for (const auto& trace : tolerant->traces) batch.traces.append(trace);
+    check(mum::dataset::serialize_pack(batch) == pack_bytes,
+          "batch pack writer diverges from AoS pack writer");
+    const auto view = mum::dataset::PackView::open(
+        pack_bytes, DecodeOptions{.tolerant = true}, nullptr);
+    check(view.has_value(), "salvaged pack does not open as a view");
+    const mum::dataset::SnapshotBatch reread = view->to_snapshot_batch();
+    check(reread.trace_count() == tolerant->traces.size(),
+          "batch ingest loses traces");
+    check(mum::dataset::serialize_pack(reread) == pack_bytes,
+          "batch pack round trip is not byte-stable");
   } else {
     check(tolerant_diag.faults_total() > 0,
           "tolerant rejection without a recorded fault");
