@@ -3,7 +3,10 @@
 # parallel execution layer (tests/test_parallel) to catch data races the
 # functional tests cannot, then an ASan+UBSan pass over the tolerant-ingest
 # layer (decoder fuzz corpus + chaos tests) to catch memory errors arbitrary
-# bytes could trigger.
+# bytes could trigger. On top of that: a failpoint matrix (every io fault
+# class injected at 2% must leave a campaign contained) and a kill/resume
+# torture loop (real process kills at fixed io-op ordinals; resumed runs
+# must be byte-identical to an uninterrupted one).
 #
 # Usage: scripts/tier1.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
@@ -17,6 +20,51 @@ echo "== tier-1: build + ctest ($build) =="
 cmake -B "$build" -S "$repo"
 cmake --build "$build" -j
 ctest --test-dir "$build" --output-on-failure -j
+
+mum="$build/tools/mum"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "== tier-1: failpoint matrix (each io fault class at 2%) =="
+# Every fault class injected alone must leave the campaign contained: the
+# run exits ok (0) or degraded-complete (4) — never a crash, hang, or fatal.
+for fault in io.eio io.enospc io.shortwrite io.torn io.stalerename io.slow; do
+  rm -rf "$work/ck"
+  code=0
+  "$mum" campaign --small --cycles 12 --quiet --retry 2 \
+    --checkpoints "$work/ck" --checkpoint-data \
+    --chaos "$fault=2%" > "$work/$fault.out" 2>&1 || code=$?
+  if [ "$code" -ne 0 ] && [ "$code" -ne 4 ]; then
+    echo "FAIL: $fault=2% campaign exited $code"
+    cat "$work/$fault.out"
+    exit 1
+  fi
+  echo "  $fault=2% -> exit $code"
+done
+
+echo "== tier-1: kill/resume torture (real process kills) =="
+# Kill the process at the K-th injected io op, resume from the checkpoint
+# directory, and require the resumed report byte-identical to an
+# uninterrupted run. Fixed K list spans early, mid and late campaign.
+"$mum" campaign --small --cycles 12 --quiet > "$work/baseline.out"
+for k in 2 7 13 23 31; do
+  rm -rf "$work/kill"
+  code=0
+  "$mum" campaign --small --cycles 12 --quiet --checkpoints "$work/kill" \
+    --chaos "io.kill_at=$k" > /dev/null 2>&1 || code=$?
+  if [ "$code" -ne 9 ]; then
+    echo "FAIL: io.kill_at=$k expected exit 9 (killed), got $code"
+    exit 1
+  fi
+  "$mum" campaign --small --cycles 12 --quiet --resume "$work/kill" \
+    > "$work/resume.out" 2> /dev/null
+  if ! cmp -s "$work/baseline.out" "$work/resume.out"; then
+    echo "FAIL: resume after kill at op $k diverged from baseline"
+    diff "$work/baseline.out" "$work/resume.out" | head -20
+    exit 1
+  fi
+  echo "  kill at op $k -> exit 9, resume byte-identical"
+done
 
 echo "== tier-1: TSan pass over test_parallel + test_obs + test_evolve + test_batch ($tsan_build) =="
 cmake -B "$tsan_build" -S "$repo" -DMUM_TSAN=ON

@@ -63,6 +63,31 @@ std::optional<ChaosConfig> parse_chaos_spec(std::string_view spec,
       config.seed = *seed;
       continue;
     }
+    if (name == "io.slow_ms") {
+      const auto ms = util::parse_u64(value);
+      if (!ms) return fail("chaos: io.slow_ms expects an integer, got '" +
+                           std::string(value) + "'");
+      config.io.slow_ms = static_cast<std::uint32_t>(*ms);
+      continue;
+    }
+    if (name == "io.kill_at") {
+      const auto at = util::parse_u64(value);
+      if (!at) return fail("chaos: io.kill_at expects an integer, got '" +
+                           std::string(value) + "'");
+      config.io.kill_at_op = *at;
+      continue;
+    }
+    if (name == "io.kill_mode") {
+      if (value == "kill") {
+        config.io.kill_mode = util::io::FaultConfig::KillMode::kKill;
+      } else if (value == "dead") {
+        config.io.kill_mode = util::io::FaultConfig::KillMode::kDead;
+      } else {
+        return fail("chaos: io.kill_mode expects kill or dead, got '" +
+                    std::string(value) + "'");
+      }
+      continue;
+    }
 
     const auto rate = parse_rate(value);
     if (!rate) {
@@ -89,10 +114,28 @@ std::optional<ChaosConfig> parse_chaos_spec(std::string_view spec,
       config.flip_byte = *rate;
     } else if (name == "fail") {
       config.cycle_failure = *rate;
+    } else if (name == "io.all") {
+      config.io.eio = config.io.enospc = config.io.short_write =
+          config.io.torn_temp = config.io.stale_rename = config.io.slow_op =
+              *rate;
+    } else if (name == "io.eio") {
+      config.io.eio = *rate;
+    } else if (name == "io.enospc") {
+      config.io.enospc = *rate;
+    } else if (name == "io.shortwrite") {
+      config.io.short_write = *rate;
+    } else if (name == "io.torn") {
+      config.io.torn_temp = *rate;
+    } else if (name == "io.stalerename") {
+      config.io.stale_rename = *rate;
+    } else if (name == "io.slow") {
+      config.io.slow_op = *rate;
     } else {
       return fail("chaos: unknown fault '" + std::string(name) +
                   "' (stack, noext, dupttl, reorder, ip2as, blackout, flip, "
-                  "fail, seed, all)");
+                  "fail, seed, all; io.eio, io.enospc, io.shortwrite, "
+                  "io.torn, io.stalerename, io.slow, io.slow_ms, io.all, "
+                  "io.kill_at, io.kill_mode)");
     }
   }
   return config;
@@ -121,6 +164,19 @@ void publish(const ChaosStats& stats) {
   dropped.add(stats.traces_dropped);
   flips.add(stats.bytes_flipped);
   failures.add(stats.cycles_failed);
+}
+
+void publish_io(const util::io::FaultCounts& counts) {
+  if (counts.ops == 0) return;
+  obs::Registry& r = obs::registry();
+  static obs::Counter& ops = r.counter("chaos.io.ops");
+  ops.add(counts.ops);
+  for (std::size_t f = 0; f < util::io::kFaultClassCount; ++f) {
+    if (counts.injected[f] == 0) continue;
+    r.counter(std::string("chaos.io.") +
+              util::io::to_cstring(static_cast<util::io::FaultClass>(f)))
+        .add(counts.injected[f]);
+  }
 }
 
 ChaosStats& ChaosStats::merge(const ChaosStats& other) noexcept {

@@ -22,6 +22,7 @@
 #include <string_view>
 
 #include "dataset/trace.h"
+#include "util/io.h"
 
 namespace mum::chaos {
 
@@ -43,12 +44,20 @@ struct ChaosConfig {
   // Execution faults (consumed by run::Runner):
   double cycle_failure = 0.0;  // per cycle: the worker throws ChaosError
 
+  // Environment faults (consumed by util::io via a FailpointPlan the runner
+  // installs): EIO, ENOSPC, short writes, torn temps, stale renames, slow
+  // ops, and the kill-at-op crash harness. These corrupt the *environment*
+  // around the run, never the data — reports stay byte-identical whenever
+  // the run completes.
+  util::io::FaultConfig io;
+
   bool any_structural() const noexcept {
     return truncate_stack > 0 || drop_extension > 0 || duplicate_ttl > 0 ||
            reorder_ttl > 0 || bogus_ip2as > 0 || monitor_blackout > 0;
   }
   bool enabled() const noexcept {
-    return any_structural() || flip_byte > 0 || cycle_failure > 0;
+    return any_structural() || flip_byte > 0 || cycle_failure > 0 ||
+           io.any();
   }
 };
 
@@ -56,8 +65,13 @@ struct ChaosConfig {
 // rate is a decimal ("0.02") or percentage ("2%"). Fault names: stack, noext,
 // dupttl, reorder, ip2as, blackout, flip, fail, seed (integer), and `all`
 // which sets every dataset fault (not `fail`) to the given rate. A bare rate
-// ("2%") is shorthand for `all=2%`. Returns nullopt on a malformed spec and
-// fills `error` with the reason.
+// ("2%") is shorthand for `all=2%`.
+//
+// Environment faults use the `io.` prefix: io.eio, io.enospc, io.shortwrite,
+// io.torn, io.stalerename, io.slow (rates), io.slow_ms (latency in ms),
+// io.all (sets the six io rates, not the dataset faults), and the crash
+// harness knobs io.kill_at (1-based op index) and io.kill_mode (kill|dead).
+// Returns nullopt on a malformed spec and fills `error` with the reason.
 std::optional<ChaosConfig> parse_chaos_spec(std::string_view spec,
                                             std::string* error = nullptr);
 
@@ -86,6 +100,10 @@ struct ChaosStats {
 // ("chaos.injected.<kind>" counters). The runner publishes each cycle's
 // Corruptor stats once, right after recording them in the manifest.
 void publish(const ChaosStats& stats);
+
+// Same for the io failpoint counts ("chaos.io.ops" + "chaos.io.<class>"),
+// published once per contained run from the plan the runner installed.
+void publish_io(const util::io::FaultCounts& counts);
 
 // Thrown by injected execution faults so containment code can tell chaos
 // from genuine logic errors in test assertions.

@@ -7,6 +7,7 @@
 #include "dataset/pack.h"
 #include "dataset/warts_lite.h"
 #include "obs/telemetry.h"
+#include "util/io.h"
 #include "util/mmap_file.h"
 #include "util/thread_pool.h"
 
@@ -131,6 +132,9 @@ class MemorySource final : public SnapshotSource {
     return kEmptyString;
   }
   const std::string& error() const noexcept override { return kEmptyString; }
+  SourceErrorKind error_kind() const noexcept override {
+    return SourceErrorKind::kNone;
+  }
 
  private:
   std::vector<Snapshot> snapshots_;
@@ -164,6 +168,10 @@ class BytesSource final : public SnapshotSource {
     return kEmptyString;
   }
   const std::string& error() const noexcept override { return error_; }
+  SourceErrorKind error_kind() const noexcept override {
+    return error_.empty() ? SourceErrorKind::kNone
+                          : SourceErrorKind::kUndecodable;
+  }
 
  private:
   std::vector<std::string> buffers_;
@@ -178,12 +186,24 @@ class FileSource final : public SnapshotSource {
  public:
   FileSource(std::vector<std::string> paths, const DecodeOptions& options,
              util::ThreadPool* pool)
-      : paths_(std::move(paths)), options_(options), pool_(pool) {}
+      : paths_(std::move(paths)),
+        options_(options),
+        pool_(pool),
+        // Mappings may run on pool workers that lack the caller's
+        // CycleScope, so capture its (cycle, attempt) lineage here and key
+        // every map op explicitly — fault draws are then identical no
+        // matter which thread performs the map.
+        context_(util::io::capture_context()) {}
 
   std::optional<Snapshot> next() override {
     if (!error_.empty() || index_ >= paths_.size()) return std::nullopt;
-    // A failed prefetch retries here once before declaring the shard dead.
-    if (!staged_) staged_ = util::MmapFile::open_ro(paths_[index_]);
+    // A failed prefetch retries here once before declaring the shard dead
+    // (a fresh ordinal, so an injected fault does not deterministically
+    // recur on the retry).
+    if (!staged_) {
+      staged_ =
+          util::io::env().map_file(paths_[index_], context_, map_ordinal_++);
+    }
     std::optional<util::MmapFile> current = std::move(staged_);
     staged_.reset();
     const std::size_t i = index_++;
@@ -191,6 +211,7 @@ class FileSource final : public SnapshotSource {
     last_diag_ = DecodeDiagnostics{};
     if (!current) {
       error_ = last_path_ + ": cannot read";
+      kind_ = SourceErrorKind::kUnreadable;
       return std::nullopt;
     }
 
@@ -198,12 +219,16 @@ class FileSource final : public SnapshotSource {
     if (index_ < paths_.size() && pool_ != nullptr) {
       // Overlap: decode shard i here while a worker maps shard i+1. Both
       // indices write disjoint state; parallel_for joins before we read it.
+      // The ordinal is drawn before dispatch so the fault key never depends
+      // on pool scheduling.
+      const std::uint64_t ordinal = map_ordinal_++;
       std::optional<util::MmapFile> prefetched;
       util::parallel_for(pool_, 2, [&](std::size_t k) {
         if (k == 0) {
           snap = decode_snapshot(current->view(), options_, &last_diag_);
         } else {
-          prefetched = util::MmapFile::open_ro(paths_[index_]);
+          prefetched =
+              util::io::env().map_file(paths_[index_], context_, ordinal);
         }
       });
       staged_ = std::move(prefetched);
@@ -213,6 +238,7 @@ class FileSource final : public SnapshotSource {
     diag_.merge(last_diag_);
     if (!snap) {
       error_ = last_path_ + ": not a warts-lite snapshot";
+      kind_ = SourceErrorKind::kUndecodable;
       return std::nullopt;
     }
     return snap;
@@ -227,17 +253,21 @@ class FileSource final : public SnapshotSource {
     return last_path_;
   }
   const std::string& error() const noexcept override { return error_; }
+  SourceErrorKind error_kind() const noexcept override { return kind_; }
 
  private:
   std::vector<std::string> paths_;
   DecodeOptions options_;
   util::ThreadPool* pool_;
+  util::io::OpContext context_;
+  std::uint64_t map_ordinal_ = 0;
   std::size_t index_ = 0;
   std::optional<util::MmapFile> staged_;  // mapping for paths_[index_]
   DecodeDiagnostics diag_;
   DecodeDiagnostics last_diag_;
   std::string last_path_;
   std::string error_;
+  SourceErrorKind kind_ = SourceErrorKind::kNone;
 };
 
 }  // namespace

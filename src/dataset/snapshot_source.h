@@ -39,6 +39,15 @@ std::optional<Snapshot> decode_snapshot(
     std::string_view bytes, const DecodeOptions& options = {},
     DecodeDiagnostics* diagnostics = nullptr);
 
+// Why a source stopped: the supervision layer quarantines undecodable
+// shards (the bytes are bad on disk) but merely recomputes past unreadable
+// ones (the environment failed; the bytes may be fine).
+enum class SourceErrorKind : std::uint8_t {
+  kNone = 0,
+  kUnreadable,    // map/read of the shard failed
+  kUndecodable,   // bytes read but not a warts-lite container
+};
+
 class SnapshotSource {
  public:
   virtual ~SnapshotSource() = default;
@@ -57,6 +66,8 @@ class SnapshotSource {
   // Non-empty once a shard could not be read or recognized; next() has
   // returned nullopt and will keep doing so.
   virtual const std::string& error() const noexcept = 0;
+  // Classifies error() (kNone while the stream is healthy).
+  virtual SourceErrorKind error_kind() const noexcept = 0;
   bool failed() const noexcept { return !error().empty(); }
 };
 

@@ -19,8 +19,10 @@ namespace mum::obs {
 
 enum class LogLevel : std::uint8_t {
   kSilent = 0,  // nothing (CLI --quiet)
-  kInfo = 1,    // sparse progress + summaries (default)
-  kDebug = 2,   // per-cycle detail (CLI --verbose)
+  kWarn = 1,    // contained anomalies: checkpoint write failures,
+                // quarantines, retries, degradation (on unless --quiet)
+  kInfo = 2,    // sparse progress + summaries (default)
+  kDebug = 3,   // per-cycle detail (CLI --verbose)
 };
 
 void set_log_level(LogLevel level) noexcept;
@@ -38,6 +40,9 @@ bool log_enabled(LogLevel level) noexcept;
 // timely under redirection).
 void log(LogLevel level, std::string_view message);
 
+inline void log_warn(std::string_view message) {
+  log(LogLevel::kWarn, message);
+}
 inline void log_info(std::string_view message) {
   log(LogLevel::kInfo, message);
 }

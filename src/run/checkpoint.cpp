@@ -8,6 +8,7 @@
 #include "dataset/pack.h"
 #include "dataset/warts_lite.h"  // varint helpers + stream serializer
 #include "obs/telemetry.h"
+#include "util/io.h"
 #include "util/rng.h"  // fnv1a
 
 namespace mum::run {
@@ -393,40 +394,45 @@ bool write_checkpoint_file(const std::string& dir, int cycle,
       obs::registry().counter("checkpoint.reports_written");
   static obs::Counter& bytes_written =
       obs::registry().counter("checkpoint.bytes_written");
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  const fs::path final_path = fs::path(dir) / checkpoint_filename(cycle);
-  const fs::path tmp_path =
-      fs::path(dir) / (checkpoint_filename(cycle) + ".tmp");
-  {
-    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!os) return false;
-    const std::string bytes = serialize_cycle_report(report);
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!os.flush()) return false;
-    bytes_written.add(bytes.size());
-  }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    return false;
-  }
+  util::io::IoEnv& env = util::io::env();
+  if (!env.create_dirs(dir)) return false;
+  const std::string name = checkpoint_filename(cycle);
+  const std::string final_path = (fs::path(dir) / name).string();
+  const std::string tmp_path = (fs::path(dir) / (name + ".tmp")).string();
+  const std::string bytes = serialize_cycle_report(report);
+  // A failed or torn write leaves its .tmp litter in place — exactly what a
+  // real fault leaves, and resume never reads .tmp names. No cleanup op, so
+  // env.last_error() still names the failing op when we return.
+  if (!env.write_file(tmp_path, bytes)) return false;
+  bytes_written.add(bytes.size());
+  if (!env.rename_file(tmp_path, final_path)) return false;
   reports_written.inc();
   return true;
 }
 
 std::optional<lpr::CycleReport> load_checkpoint_file(const std::string& dir,
-                                                     int cycle) {
+                                                     int cycle,
+                                                     LoadStatus* status) {
   static obs::Counter& reports_loaded =
       obs::registry().counter("checkpoint.reports_loaded");
   static obs::Counter& load_failures =
       obs::registry().counter("checkpoint.load_failures");
-  std::ifstream is(fs::path(dir) / checkpoint_filename(cycle),
-                   std::ios::binary);
-  if (!is) return std::nullopt;  // absent, not corrupt: no failure counted
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  auto report = parse_cycle_report(buffer.str());
+  const auto set = [&](LoadStatus s) {
+    if (status != nullptr) *status = s;
+  };
+  util::io::IoEnv& env = util::io::env();
+  const std::string path =
+      (fs::path(dir) / checkpoint_filename(cycle)).string();
+  const auto bytes = env.read_file(path);
+  if (!bytes) {
+    // Absent is normal (no failure counted); a failed read is not corrupt —
+    // nothing on disk says the file is bad, so it must not be quarantined.
+    set(env.last_error() == util::io::Error::kNone ? LoadStatus::kMissing
+                                                   : LoadStatus::kIoError);
+    return std::nullopt;
+  }
+  auto report = parse_cycle_report(*bytes);
+  set(report ? LoadStatus::kOk : LoadStatus::kCorrupt);
   (report ? reports_loaded : load_failures).inc();
   return report;
 }
@@ -440,30 +446,21 @@ std::string data_shard_filename(int cycle, std::size_t sub,
 bool write_data_shard(const std::string& dir, int cycle, std::size_t sub,
                       const dataset::Snapshot& snapshot,
                       std::uint8_t format) {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
   static obs::Counter& shards_written =
       obs::registry().counter("checkpoint.shards_written");
   static obs::Counter& bytes_written =
       obs::registry().counter("checkpoint.bytes_written");
+  util::io::IoEnv& env = util::io::env();
+  if (!env.create_dirs(dir)) return false;
   const std::string name = data_shard_filename(cycle, sub, format);
-  const fs::path final_path = fs::path(dir) / name;
-  const fs::path tmp_path = fs::path(dir) / (name + ".tmp");
-  {
-    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!os) return false;
-    const std::string bytes = format >= dataset::kPackVersion
-                                  ? dataset::serialize_pack(snapshot)
-                                  : dataset::serialize_snapshot(snapshot);
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    if (!os.flush()) return false;
-    bytes_written.add(bytes.size());
-  }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    return false;
-  }
+  const std::string final_path = (fs::path(dir) / name).string();
+  const std::string tmp_path = (fs::path(dir) / (name + ".tmp")).string();
+  const std::string bytes = format >= dataset::kPackVersion
+                                ? dataset::serialize_pack(snapshot)
+                                : dataset::serialize_snapshot(snapshot);
+  if (!env.write_file(tmp_path, bytes)) return false;
+  bytes_written.add(bytes.size());
+  if (!env.rename_file(tmp_path, final_path)) return false;
   shards_written.inc();
   return true;
 }

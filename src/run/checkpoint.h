@@ -34,12 +34,26 @@ std::optional<lpr::CycleReport> parse_cycle_report(const std::string& bytes);
 // Filename (not path) of cycle N's checkpoint: "cycle_<N+1>.mumc".
 std::string checkpoint_filename(int cycle);
 
-// Atomic write (temp + rename). Returns false on any I/O failure.
+// Atomic write (temp + rename), through util::io::env so failpoints apply.
+// Returns false on any I/O failure; callers must not ignore it — the runner
+// logs, counts (run.checkpoint.write_failures) and records it per cycle.
 bool write_checkpoint_file(const std::string& dir, int cycle,
                            const lpr::CycleReport& report);
-// nullopt when missing, unreadable, or corrupt — callers recompute.
-std::optional<lpr::CycleReport> load_checkpoint_file(const std::string& dir,
-                                                     int cycle);
+
+// How a checkpoint load resolved — the supervision layer treats these very
+// differently: kMissing/kIoError recompute quietly, kCorrupt quarantines
+// the file first (evidence, not litter).
+enum class LoadStatus : std::uint8_t {
+  kOk = 0,
+  kMissing,  // no file under the checkpoint name
+  kCorrupt,  // bytes present but bad magic/version/truncation/checksum
+  kIoError,  // the read itself failed (real or injected EIO)
+};
+
+// nullopt when missing, unreadable, or corrupt — callers recompute. The
+// optional out-param distinguishes why (quarantine policy needs it).
+std::optional<lpr::CycleReport> load_checkpoint_file(
+    const std::string& dir, int cycle, LoadStatus* status = nullptr);
 
 // --- data shards --------------------------------------------------------
 

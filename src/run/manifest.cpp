@@ -11,6 +11,7 @@ const char* to_cstring(CycleOutcome outcome) noexcept {
     case CycleOutcome::kFailed: return "failed";
     case CycleOutcome::kSkipped: return "skipped";
     case CycleOutcome::kFromData: return "from_data";
+    case CycleOutcome::kTimedOut: return "timed_out";
   }
   return "unknown";
 }
@@ -26,6 +27,30 @@ std::size_t RunManifest::count(CycleOutcome outcome) const noexcept {
 chaos::ChaosStats RunManifest::chaos_total() const noexcept {
   chaos::ChaosStats total;
   for (const CycleStatus& status : cycles) total.merge(status.chaos);
+  return total;
+}
+
+std::uint64_t RunManifest::checkpoint_write_failures_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const CycleStatus& status : cycles) {
+    total += status.checkpoint_write_failures;
+  }
+  return total;
+}
+
+std::size_t RunManifest::quarantined_total() const noexcept {
+  std::size_t total = 0;
+  for (const CycleStatus& status : cycles) total += status.quarantined.size();
+  return total;
+}
+
+std::uint64_t RunManifest::retries_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const CycleStatus& status : cycles) {
+    if (status.attempts > 1) {
+      total += static_cast<std::uint64_t>(status.attempts - 1);
+    }
+  }
   return total;
 }
 
@@ -58,6 +83,9 @@ std::string RunManifest::to_json() const {
   json.field("wall_ns", wall_ns);
   json.field("peak_rss_bytes", peak_rss_bytes);
   json.field("complete", complete());
+  json.field("degraded", degraded());
+  json.field("checkpoints_degraded", checkpoints_degraded);
+  if (!degraded_reason.empty()) json.field("degraded_reason", degraded_reason);
   json.field("failure_budget_exceeded", failure_budget_exceeded);
   json.field("ok", static_cast<std::uint64_t>(count(CycleOutcome::kOk)));
   json.field("from_checkpoint", static_cast<std::uint64_t>(
@@ -68,8 +96,25 @@ std::string RunManifest::to_json() const {
              static_cast<std::uint64_t>(count(CycleOutcome::kFailed)));
   json.field("skipped",
              static_cast<std::uint64_t>(count(CycleOutcome::kSkipped)));
+  json.field("timed_out",
+             static_cast<std::uint64_t>(count(CycleOutcome::kTimedOut)));
+  json.field("retries", retries_total());
+  json.field("checkpoint_write_failures", checkpoint_write_failures_total());
+  json.field("quarantined",
+             static_cast<std::uint64_t>(quarantined_total()));
   json.key("chaos_total");
   write_chaos(json, chaos_total());
+  if (io.ops > 0) {
+    json.key("io");
+    json.begin_object();
+    json.field("ops", io.ops);
+    json.field("injected_total", io.total_injected());
+    for (std::size_t f = 0; f < util::io::kFaultClassCount; ++f) {
+      json.field(util::io::to_cstring(static_cast<util::io::FaultClass>(f)),
+                 io.injected[f]);
+    }
+    json.end_object();
+  }
   json.key("cycles");
   json.begin_array();
   for (const CycleStatus& status : cycles) {
@@ -110,6 +155,24 @@ std::string RunManifest::to_json() const {
       json.end_object();
     }
     if (!status.error.empty()) json.field("error", status.error);
+    if (status.attempts > 1) {
+      json.field("attempts", static_cast<std::uint64_t>(status.attempts));
+    }
+    if (status.checkpoint_write_failures > 0) {
+      json.field("checkpoint_write_failures",
+                 status.checkpoint_write_failures);
+    }
+    if (!status.quarantined.empty()) {
+      json.key("quarantined");
+      json.begin_array();
+      for (const QuarantineRecord& record : status.quarantined) {
+        json.begin_object();
+        json.field("file", record.file);
+        json.field("reason", record.reason);
+        json.end_object();
+      }
+      json.end_array();
+    }
     if (status.chaos.total() > 0) {
       json.key("chaos");
       write_chaos(json, status.chaos);

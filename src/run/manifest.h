@@ -15,6 +15,7 @@
 #include "chaos/chaos.h"
 #include "gen/evolve.h"
 #include "obs/stage.h"
+#include "util/io.h"
 
 namespace mum::run {
 
@@ -25,8 +26,16 @@ enum class CycleOutcome : std::uint8_t {
   kSkipped,         // not attempted (failure budget exhausted / fail-fast)
   kFromData,        // recomputed from persisted data shards (--resume with
                     // checkpoint_data and no report checkpoint)
+  kTimedOut,        // abandoned at the per-cycle deadline; placeholder slot
 };
 const char* to_cstring(CycleOutcome outcome) noexcept;
+
+// A file the supervision layer moved into <checkpoint_dir>/quarantine/
+// instead of deleting: corrupt evidence is kept, and the manifest says why.
+struct QuarantineRecord {
+  std::string file;    // original filename (not path)
+  std::string reason;  // e.g. "corrupt checkpoint", "undecodable shard"
+};
 
 struct CycleStatus {
   int cycle = 0;
@@ -41,6 +50,13 @@ struct CycleStatus {
   // Delta-evolution accounting for this cycle's generation (delta.cycle < 0
   // when the cycle was not generated through a DeltaEvolver).
   gen::CycleDeltaStats delta;
+  // --- supervision record ------------------------------------------------
+  // How many attempts the cycle consumed (1 = first try succeeded).
+  int attempts = 1;
+  // Checkpoint/shard writes that failed after retries this cycle (the
+  // report slot itself is unaffected — persistence failed, not compute).
+  std::uint64_t checkpoint_write_failures = 0;
+  std::vector<QuarantineRecord> quarantined;
 };
 
 struct RunManifest {
@@ -56,14 +72,35 @@ struct RunManifest {
   // and the process's peak resident set when it finished.
   std::uint64_t wall_ns = 0;
   std::uint64_t peak_rss_bytes = 0;
+  // --- supervision record --------------------------------------------------
+  // Set when persistent ENOSPC dropped checkpoint persistence mid-run: the
+  // report is still complete and correct, but later cycles have no
+  // checkpoints on disk. degraded_reason says what tripped it.
+  bool checkpoints_degraded = false;
+  std::string degraded_reason;
+  // What the installed io failpoint plan injected over this run (all zeros
+  // when no plan was installed).
+  util::io::FaultCounts io;
 
   std::size_t count(CycleOutcome outcome) const noexcept;
   // All cycles either computed or restored: the report is trustworthy
   // end to end.
   bool complete() const noexcept {
     return count(CycleOutcome::kFailed) == 0 &&
-           count(CycleOutcome::kSkipped) == 0;
+           count(CycleOutcome::kSkipped) == 0 &&
+           count(CycleOutcome::kTimedOut) == 0;
   }
+  // The report is complete but an operational promise was not kept:
+  // checkpoint persistence was dropped (ENOSPC), some checkpoint writes
+  // failed, or corrupt state was quarantined. Exit code 4 territory.
+  bool degraded() const noexcept {
+    return checkpoints_degraded || checkpoint_write_failures_total() > 0 ||
+           quarantined_total() > 0;
+  }
+  std::uint64_t checkpoint_write_failures_total() const noexcept;
+  std::size_t quarantined_total() const noexcept;
+  // Extra attempts consumed beyond each cycle's first (0 = no retries).
+  std::uint64_t retries_total() const noexcept;
   // Total chaos faults injected across all cycles.
   chaos::ChaosStats chaos_total() const noexcept;
 

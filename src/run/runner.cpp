@@ -1,6 +1,9 @@
 #include "run/runner.h"
 
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
 
 #include "dataset/pack.h"
 #include "dataset/snapshot_source.h"
@@ -10,6 +13,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "run/checkpoint.h"
+#include "util/io.h"
 #include "util/rng.h"
 
 namespace mum::run {
@@ -130,16 +134,56 @@ lpr::CycleReport Runner::run_cycle_chaos(int cycle,
   dataset::DecodeDiagnostics decode;
   const dataset::MonthData month =
       prepare_month(cycle, corruptor, &decode, evolver);
+  // Stage boundary: a deadline can fire on compute-only cycles here (no-op
+  // outside a CycleScope, so run_all and the benches never pay for it).
+  util::io::check_deadline();
   const obs::StageSpan span(obs::Stage::kClassify, cycle);
   lpr::CycleReport report =
       lpr::run_pipeline(month, ip2as_, config_.pipeline, pool_.get());
   report.decode = std::move(decode);
+  util::io::check_deadline();
   return report;
 }
 
-std::optional<lpr::CycleReport> Runner::run_cycle_from_data(int cycle) const {
+void Runner::quarantine_file(const std::string& path,
+                             const std::string& reason,
+                             CycleStatus& status) const {
+  static obs::Counter& quarantined =
+      obs::registry().counter("run.quarantined");
+  namespace fs = std::filesystem;
+  util::io::IoEnv& env = util::io::env();
+  const std::string name = fs::path(path).filename().string();
+  const std::string qdir =
+      (fs::path(config_.checkpoint_dir) / "quarantine").string();
+  // The move itself goes through the failpoints; if it fails the file stays
+  // put, but the manifest records the verdict either way.
+  env.create_dirs(qdir);
+  env.rename_file(path, (fs::path(qdir) / name).string());
+  status.quarantined.push_back(QuarantineRecord{name, reason});
+  quarantined.inc();
+  obs::log_warn("  ! quarantined " + name + ": " + reason);
+  if (obs::TraceLog* t = obs::trace()) {
+    t->mark("quarantine", status.cycle, name + ": " + reason);
+  }
+}
+
+std::optional<lpr::CycleReport> Runner::run_cycle_from_data(
+    int cycle, CycleStatus* status) const {
   const auto paths = find_data_shards(config_.checkpoint_dir, cycle);
   if (paths.empty()) return std::nullopt;
+  // Crash consistency: shards persist one at a time, so a kill mid-cycle
+  // leaves a contiguous prefix. Re-ingesting fewer snapshots than the
+  // campaign generates would compute a *wrong* report from real-looking
+  // data — regenerate instead.
+  const std::size_t expected =
+      static_cast<std::size_t>(config_.campaign.extra_snapshots) + 1;
+  if (paths.size() < expected) {
+    obs::log_debug("  incomplete shard set for cycle " +
+                   std::to_string(cycle + 1) + " (" +
+                   std::to_string(paths.size()) + "/" +
+                   std::to_string(expected) + "), regenerating");
+    return std::nullopt;
+  }
   // Strict decode: these shards were written by a previous run; damage
   // means the cycle should be regenerated, not silently thinned.
   const auto source = dataset::make_file_source(
@@ -155,7 +199,17 @@ std::optional<lpr::CycleReport> Runner::run_cycle_from_data(int cycle) const {
       month.snapshots.push_back(std::move(*snapshot));
     }
   }
-  if (source->failed() || month.snapshots.empty()) return std::nullopt;
+  if (source->failed() || month.snapshots.empty()) {
+    // A shard whose *bytes* are bad is evidence of torn persistence —
+    // quarantine it so the recompute can write a fresh one. An unreadable
+    // shard proves nothing about the bytes; leave it alone.
+    if (status != nullptr &&
+        source->error_kind() == dataset::SourceErrorKind::kUndecodable) {
+      quarantine_file(source->last_path(), "undecodable shard", *status);
+    }
+    return std::nullopt;
+  }
+  util::io::check_deadline();
   const obs::StageSpan span(obs::Stage::kClassify, cycle);
   lpr::CycleReport report =
       lpr::run_pipeline(month, ip2as_, config_.pipeline, pool_.get());
@@ -196,6 +250,13 @@ lpr::LongitudinalReport Runner::run_all() const {
 }
 
 RunOutcome Runner::run_all_contained() const {
+  static obs::Counter& write_failures =
+      obs::registry().counter("run.checkpoint.write_failures");
+  static obs::Counter& retries_counter = obs::registry().counter("run.retries");
+  static obs::Counter& timeouts_counter =
+      obs::registry().counter("run.timeouts");
+  namespace fs = std::filesystem;
+
   const std::uint64_t run_t0 = obs::monotonic_ns();
   const int first = config_.first_cycle;
   const int last = config_.last_cycle;
@@ -214,9 +275,29 @@ RunOutcome Runner::run_all_contained() const {
       config_.chaos.any_structural() || config_.chaos.flip_byte > 0;
   const bool checkpoints = !config_.checkpoint_dir.empty();
 
+  // Install the run's failpoint plan (if io faults are configured). Tests
+  // may have installed an ambient plan instead — either way, the active
+  // plan's count delta over this run lands in the manifest.
+  std::unique_ptr<util::io::FailpointPlan> plan;
+  std::optional<util::io::ScopedFailpoints> scoped_plan;
+  if (config_.chaos.io.any()) {
+    plan = std::make_unique<util::io::FailpointPlan>(config_.chaos.io,
+                                                     config_.chaos.seed);
+    scoped_plan.emplace(plan.get());
+  }
+  util::io::FailpointPlan* active = util::io::failpoints();
+  const util::io::FaultCounts counts_before =
+      active != nullptr ? active->counts() : util::io::FaultCounts{};
+
   std::atomic<bool> abort{false};
   std::atomic<bool> budget_exceeded{false};
   std::atomic<int> failures{0};
+  // ENOSPC degradation: after `enospc_degrade_threshold` consecutive
+  // disk-full write failures the run stops persisting (checkpoints AND
+  // shards) but keeps computing — the report completes, the manifest and
+  // exit code say persistence was dropped.
+  std::atomic<int> enospc_streak{0};
+  std::atomic<bool> degraded{false};
 
   const auto run_one = [&](std::size_t i, gen::DeltaEvolver* evolver) {
     const int cycle = first + static_cast<int>(i);
@@ -227,6 +308,56 @@ RunOutcome Runner::run_all_contained() const {
     // identity in the report, with zero counts.
     slot.cycle_id = static_cast<std::uint32_t>(cycle);
     slot.date = gen::cycle_date(cycle);
+    const auto reset_slot = [&] {
+      slot = lpr::CycleReport{};
+      slot.cycle_id = static_cast<std::uint32_t>(cycle);
+      slot.date = gen::cycle_date(cycle);
+    };
+
+    // One persistence attempt set: op-level retry for transient failures
+    // (each retry draws fresh fault ordinals), no retry on disk-full, and
+    // the ENOSPC streak feeds the degradation tripwire. Returns true when
+    // the bytes landed.
+    const auto supervised_write = [&](const auto& write) -> bool {
+      if (degraded.load(std::memory_order_acquire)) return false;
+      for (int t = 0;; ++t) {
+        if (write()) {
+          enospc_streak.store(0, std::memory_order_relaxed);
+          return true;
+        }
+        if (util::io::env().last_error() == util::io::Error::kEnospc) {
+          const int streak =
+              enospc_streak.fetch_add(1, std::memory_order_acq_rel) + 1;
+          if (streak >= config_.enospc_degrade_threshold &&
+              !degraded.exchange(true, std::memory_order_acq_rel)) {
+            obs::log_warn(
+                "  ! persistent ENOSPC: dropping checkpoint persistence, "
+                "continuing compute-only");
+            if (obs::TraceLog* t = obs::trace()) {
+              t->mark("degraded", cycle, "persistent enospc");
+            }
+          }
+          break;  // disk-full does not retry
+        }
+        if (t >= config_.retries) break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::uint64_t{config_.retry_backoff_ms} *
+                                      static_cast<std::uint64_t>(t + 1)));
+      }
+      ++status.checkpoint_write_failures;
+      write_failures.inc();
+      obs::log_warn("  ! checkpoint write failed for cycle " +
+                    std::to_string(cycle + 1) + " (" +
+                    util::io::to_cstring(util::io::env().last_error()) + ")");
+      return false;
+    };
+    const auto persist_checkpoint = [&] {
+      if (!checkpoints) return;
+      const obs::StageSpan span(obs::Stage::kReport, cycle);
+      supervised_write([&] {
+        return write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
+      });
+    };
 
     // The cycle's whole body runs inline on this worker (nested parallel
     // regions detect they're in-pool), so a scoped thread-local accumulator
@@ -239,21 +370,29 @@ RunOutcome Runner::run_all_contained() const {
       }
 
       if (config_.resume && checkpoints) {
-        if (auto restored =
-                load_checkpoint_file(config_.checkpoint_dir, cycle)) {
+        LoadStatus load_status = LoadStatus::kMissing;
+        if (auto restored = load_checkpoint_file(config_.checkpoint_dir,
+                                                 cycle, &load_status)) {
           slot = std::move(*restored);
           status.outcome = CycleOutcome::kFromCheckpoint;
           return;
+        }
+        if (load_status == LoadStatus::kCorrupt) {
+          // Bad bytes under the checkpoint name: move them aside as
+          // evidence (never deleted) and recompute into a fresh file.
+          quarantine_file((fs::path(config_.checkpoint_dir) /
+                           checkpoint_filename(cycle))
+                              .string(),
+                          "corrupt checkpoint", status);
         }
         // No (or stale) report checkpoint: a cycle with persisted data
         // shards re-ingests them — cheaper than regenerating, and identical
         // for clean runs. Failing that, recompute below.
         if (config_.checkpoint_data) {
-          if (auto from_data = run_cycle_from_data(cycle)) {
+          if (auto from_data = run_cycle_from_data(cycle, &status)) {
             slot = std::move(*from_data);
             status.outcome = CycleOutcome::kFromData;
-            const obs::StageSpan span(obs::Stage::kReport, cycle);
-            write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
+            persist_checkpoint();
             return;
           }
         }
@@ -271,11 +410,15 @@ RunOutcome Runner::run_all_contained() const {
           dataset::DecodeDiagnostics decode;
           const dataset::MonthData month = prepare_month(
               cycle, data_chaos ? &corruptor : nullptr, &decode, evolver);
+          util::io::check_deadline();
           {
             const obs::StageSpan span(obs::Stage::kReport, cycle);
             for (std::size_t sub = 0; sub < month.snapshots.size(); ++sub) {
-              write_data_shard(config_.checkpoint_dir, cycle, sub,
-                               month.snapshots[sub], config_.snapshot_format);
+              supervised_write([&] {
+                return write_data_shard(config_.checkpoint_dir, cycle, sub,
+                                        month.snapshots[sub],
+                                        config_.snapshot_format);
+              });
             }
           }
           {
@@ -284,39 +427,86 @@ RunOutcome Runner::run_all_contained() const {
                                      pool_.get());
           }
           slot.decode = std::move(decode);
+          util::io::check_deadline();
         } else {
           slot = run_cycle_chaos(cycle, data_chaos ? &corruptor : nullptr,
                                  evolver);
         }
         status.outcome = CycleOutcome::kOk;
         if (evolver != nullptr) status.delta = evolver->last_stats();
-        if (checkpoints) {
-          const obs::StageSpan span(obs::Stage::kReport, cycle);
-          write_checkpoint_file(config_.checkpoint_dir, cycle, slot);
-        }
-      } catch (const std::exception& e) {
-        status.outcome = CycleOutcome::kFailed;
-        status.error = e.what();
-        // Reset any partial state the worker produced before throwing.
-        slot = lpr::CycleReport{};
-        slot.cycle_id = static_cast<std::uint32_t>(cycle);
-        slot.date = gen::cycle_date(cycle);
-        const int failed =
-            failures.fetch_add(1, std::memory_order_acq_rel) + 1;
-        const bool over_budget =
-            config_.failure_budget >= 0 && failed > config_.failure_budget;
-        if (over_budget) {
-          budget_exceeded.store(true, std::memory_order_release);
-        }
-        if (!config_.keep_going || over_budget) {
-          abort.store(true, std::memory_order_release);
-        }
+        persist_checkpoint();
+      } catch (...) {
+        status.chaos = corruptor.stats();
+        throw;
       }
       status.chaos = corruptor.stats();
     };
+
+    const auto note_failure = [&] {
+      const int failed = failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+      const bool over_budget =
+          config_.failure_budget >= 0 && failed > config_.failure_budget;
+      if (over_budget) {
+        budget_exceeded.store(true, std::memory_order_release);
+      }
+      if (!config_.keep_going || over_budget) {
+        abort.store(true, std::memory_order_release);
+      }
+    };
+
     {
       const obs::StageScope scope(&status.stages);
-      process();
+      // Bounded retry with deterministic backoff. The attempt number keys
+      // the io fault draws (via the CycleScope), so a transiently hostile
+      // environment rolls new dice each attempt; data chaos and compute
+      // are keyed by (seed, cycle) alone and replay identically — retries
+      // can never change the bytes of a successful cycle's report.
+      int attempt = 0;
+      for (;;) {
+        try {
+          const util::io::CycleScope cycle_scope(cycle, attempt,
+                                                 config_.cycle_deadline_ms);
+          process();
+          break;
+        } catch (const util::io::DeadlineExceeded& e) {
+          // Not retried: the deadline measures the environment + workload,
+          // and a second attempt would hit the same wall while doubling
+          // the cycle's cost.
+          status.outcome = CycleOutcome::kTimedOut;
+          status.error = e.what();
+          reset_slot();
+          timeouts_counter.inc();
+          obs::log_warn("  ! cycle " + std::to_string(cycle + 1) +
+                        " timed out: " + e.what());
+          if (obs::TraceLog* t = obs::trace()) {
+            t->mark("cycle_timeout", cycle, e.what());
+          }
+          note_failure();
+          break;
+        } catch (const std::exception& e) {
+          reset_slot();
+          if (attempt < config_.retries &&
+              !abort.load(std::memory_order_acquire)) {
+            ++attempt;
+            retries_counter.inc();
+            obs::log_warn("  ! cycle " + std::to_string(cycle + 1) +
+                          " attempt " + std::to_string(attempt) +
+                          " retrying: " + e.what());
+            if (obs::TraceLog* t = obs::trace()) {
+              t->mark("cycle_retry", cycle, e.what());
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::uint64_t{config_.retry_backoff_ms} *
+                static_cast<std::uint64_t>(attempt)));
+            continue;
+          }
+          status.outcome = CycleOutcome::kFailed;
+          status.error = e.what();
+          note_failure();
+          break;
+        }
+      }
+      status.attempts = attempt + 1;
     }
     status.duration_ns = obs::monotonic_ns() - cycle_t0;
     chaos::publish(status.chaos);
@@ -347,6 +537,20 @@ RunOutcome Runner::run_all_contained() const {
 
   out.manifest.failure_budget_exceeded =
       budget_exceeded.load(std::memory_order_acquire);
+  if (degraded.load(std::memory_order_acquire)) {
+    out.manifest.checkpoints_degraded = true;
+    out.manifest.degraded_reason =
+        "persistent enospc: checkpoint persistence dropped";
+  }
+  if (active != nullptr) {
+    const util::io::FaultCounts counts_after = active->counts();
+    out.manifest.io.ops = counts_after.ops - counts_before.ops;
+    for (std::size_t f = 0; f < util::io::kFaultClassCount; ++f) {
+      out.manifest.io.injected[f] =
+          counts_after.injected[f] - counts_before.injected[f];
+    }
+    chaos::publish_io(out.manifest.io);
+  }
   out.manifest.wall_ns = obs::monotonic_ns() - run_t0;
   out.manifest.peak_rss_bytes = obs::peak_rss_bytes();
   return out;

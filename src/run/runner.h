@@ -75,6 +75,24 @@ struct RunnerConfig {
   // magic) instead of regenerating; the manifest marks it kFromData. For
   // clean (chaos-free) runs the resumed report stays byte-identical.
   bool checkpoint_data = false;
+
+  // --- supervision (run_all_contained only) -----------------------------
+  // Extra attempts for a cycle whose worker threw. The attempt number keys
+  // the io-fault streams (an injected EIO storm on attempt 0 does not recur
+  // on attempt 1), while data chaos keys off (seed, cycle) alone — so an
+  // injected cycle failure still burns every attempt, and the report bytes
+  // never depend on how many attempts a cycle needed. 0 = no retries.
+  int retries = 0;
+  // Deterministic backoff between attempts: attempt N sleeps N * this.
+  std::uint32_t retry_backoff_ms = 1;
+  // Cooperative per-cycle deadline, 0 = none. IoEnv ops and stage
+  // boundaries check it; an expired cycle is recorded kTimedOut (never
+  // retried — the next attempt would hit the same wall) and counts against
+  // the failure budget.
+  std::uint32_t cycle_deadline_ms = 0;
+  // Consecutive ENOSPC checkpoint-write failures before the run degrades:
+  // persistence is dropped, computing continues, the manifest records it.
+  int enospc_degrade_threshold = 3;
 };
 
 // What run_all_contained produces: the science and the operational record.
@@ -138,8 +156,16 @@ class Runner {
                                    gen::DeltaEvolver* evolver = nullptr) const;
   // Re-ingest a cycle's persisted data shards (strict decode, magic-sniffed
   // per shard) and run the pipeline on them. nullopt when shards are
-  // missing or undecodable — the caller recomputes from generation.
-  std::optional<lpr::CycleReport> run_cycle_from_data(int cycle) const;
+  // missing, incomplete (fewer than the configured snapshots per cycle — a
+  // crash mid-persist must not silently thin the month) or undecodable —
+  // the caller recomputes from generation. An undecodable shard is recorded
+  // in `status` so the supervision layer can quarantine it.
+  std::optional<lpr::CycleReport> run_cycle_from_data(
+      int cycle, CycleStatus* status = nullptr) const;
+  // Move a corrupt checkpoint/shard into <checkpoint_dir>/quarantine/
+  // (kept as evidence, never deleted) and record the reason in `status`.
+  void quarantine_file(const std::string& path, const std::string& reason,
+                       CycleStatus& status) const;
 
   RunnerConfig config_;
   // Declared before internet_: the pool also parallelizes the per-AS IGP

@@ -1,0 +1,438 @@
+#include "util/io.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace mum::util::io {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Seed-lineage tag keeping io-fault streams independent of the Corruptor's
+// structural/wire/fail streams and the generator's own lineages.
+constexpr std::uint64_t kIoTag = 0xC4A05'10F4ull;
+
+// Per-op count of rate draws, in FaultClass order. The key is hashed per
+// class, so adding a class never perturbs the draws of the others.
+bool applies(FaultClass fault, OpKind op) noexcept {
+  switch (fault) {
+    case FaultClass::kEio:
+    case FaultClass::kSlow:
+      return true;  // any op can fail outright or stall
+    case FaultClass::kEnospc:
+    case FaultClass::kShortWrite:
+    case FaultClass::kTornTemp:
+      return op == OpKind::kWrite;
+    case FaultClass::kStaleRename:
+      return op == OpKind::kRename;
+  }
+  return false;
+}
+
+double rate_of(const FaultConfig& config, FaultClass fault) noexcept {
+  switch (fault) {
+    case FaultClass::kEio: return config.eio;
+    case FaultClass::kEnospc: return config.enospc;
+    case FaultClass::kShortWrite: return config.short_write;
+    case FaultClass::kTornTemp: return config.torn_temp;
+    case FaultClass::kStaleRename: return config.stale_rename;
+    case FaultClass::kSlow: return config.slow_op;
+  }
+  return 0.0;
+}
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local CycleScope* t_scope = nullptr;
+thread_local Error t_error = Error::kNone;
+
+std::atomic<FailpointPlan*> g_plan{nullptr};
+
+// Deterministic key for one (op, cycle, attempt, ordinal) lineage.
+std::uint64_t op_key(std::uint64_t seed, OpKind op, int cycle, int attempt,
+                     std::uint64_t ordinal) noexcept {
+  return hash_combine(
+      seed, hash_combine(
+                kIoTag,
+                hash_combine(
+                    static_cast<std::uint64_t>(op),
+                    hash_combine(static_cast<std::uint64_t>(
+                                     static_cast<std::int64_t>(cycle)),
+                                 hash_combine(static_cast<std::uint64_t>(
+                                                  attempt),
+                                              ordinal)))));
+}
+
+}  // namespace
+
+const char* to_cstring(FaultClass fault) noexcept {
+  switch (fault) {
+    case FaultClass::kEio: return "eio";
+    case FaultClass::kEnospc: return "enospc";
+    case FaultClass::kShortWrite: return "short_write";
+    case FaultClass::kTornTemp: return "torn_temp";
+    case FaultClass::kStaleRename: return "stale_rename";
+    case FaultClass::kSlow: return "slow";
+  }
+  return "unknown";
+}
+
+const char* to_cstring(Error error) noexcept {
+  switch (error) {
+    case Error::kNone: return "none";
+    case Error::kEio: return "eio";
+    case Error::kEnospc: return "enospc";
+    case Error::kOther: return "other";
+  }
+  return "unknown";
+}
+
+// --- FailpointPlan --------------------------------------------------------
+
+FailpointPlan::FailpointPlan(const FaultConfig& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+std::optional<FaultClass> FailpointPlan::draw(OpKind op, int cycle,
+                                              int attempt,
+                                              std::uint64_t ordinal) {
+  const std::uint64_t key = op_key(seed_, op, cycle, attempt, ordinal);
+  // One independent stream per class: the draw for a class depends only on
+  // its own rate, so tuning one rate never re-rolls the others.
+  for (std::size_t f = 0; f < kFaultClassCount; ++f) {
+    const FaultClass fault = static_cast<FaultClass>(f);
+    const double rate = rate_of(config_, fault);
+    if (rate <= 0.0 || !applies(fault, op)) continue;
+    Rng rng(hash_combine(key, f));
+    if (rng.chance(rate)) return fault;
+  }
+  return std::nullopt;
+}
+
+bool FailpointPlan::count_op_and_check_kill() noexcept {
+  if (dead()) return true;
+  const std::uint64_t op = ops_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  return config_.kill_at_op != 0 && op == config_.kill_at_op;
+}
+
+void FailpointPlan::die() noexcept {
+  if (config_.kill_mode == FaultConfig::KillMode::kKill) {
+    std::_Exit(kKilledExitCode);
+  }
+  dead_.store(true, std::memory_order_release);
+}
+
+void FailpointPlan::note_injected(FaultClass fault) noexcept {
+  injected_[static_cast<std::size_t>(fault)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+FaultCounts FailpointPlan::counts() const noexcept {
+  FaultCounts out;
+  for (std::size_t f = 0; f < kFaultClassCount; ++f) {
+    out.injected[f] = injected_[f].load(std::memory_order_relaxed);
+  }
+  out.ops = ops_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void set_failpoints(FailpointPlan* plan) noexcept {
+  g_plan.store(plan, std::memory_order_release);
+}
+
+FailpointPlan* failpoints() noexcept {
+  return g_plan.load(std::memory_order_acquire);
+}
+
+// --- CycleScope + deadline ------------------------------------------------
+
+CycleScope::CycleScope(int cycle, int attempt,
+                       std::uint32_t deadline_ms) noexcept
+    : cycle_(cycle),
+      attempt_(attempt),
+      deadline_ns_(deadline_ms == 0
+                       ? 0
+                       : now_ns() + std::uint64_t{deadline_ms} * 1'000'000),
+      previous_(t_scope) {
+  t_scope = this;
+}
+
+CycleScope::~CycleScope() { t_scope = previous_; }
+
+OpContext capture_context() noexcept {
+  if (t_scope == nullptr) return OpContext{};
+  return OpContext{t_scope->cycle(), t_scope->attempt()};
+}
+
+void check_deadline() {
+  const CycleScope* scope = t_scope;
+  if (scope == nullptr || scope->deadline_ns() == 0) return;
+  if (now_ns() > scope->deadline_ns()) {
+    throw DeadlineExceeded("cycle " + std::to_string(scope->cycle() + 1) +
+                           " exceeded its deadline (attempt " +
+                           std::to_string(scope->attempt()) + ")");
+  }
+}
+
+// --- IoEnv ----------------------------------------------------------------
+
+namespace {
+
+// Per-op fault gate: counts the op, applies the kill harness, then draws a
+// rate-based fault. kSlow is absorbed here (sleep + deadline re-check);
+// anything else is returned for the op to act out. `dead` is set when the
+// plan is dead or this op was the kill point in kDead mode — the op must
+// fail silently without touching the filesystem.
+struct OpGate {
+  std::optional<FaultClass> fault;
+  std::uint64_t key = 0;  // deterministic tear-length source
+  bool dead = false;
+  bool kill = false;  // this op is the kill point (tear, then die())
+};
+
+OpGate begin_op(OpKind op, const OpContext* context,
+                const std::uint64_t* ordinal) {
+  check_deadline();
+  t_error = Error::kNone;
+  OpGate gate;
+  FailpointPlan* plan = failpoints();
+  if (plan == nullptr) return gate;
+  if (plan->dead()) {
+    gate.dead = true;
+    return gate;
+  }
+  gate.kill = plan->count_op_and_check_kill();
+  OpContext ctx = context != nullptr ? *context : capture_context();
+  std::uint64_t ord;
+  if (ordinal != nullptr) {
+    ord = *ordinal;
+  } else if (t_scope != nullptr && context == nullptr) {
+    ord = t_scope->next_ordinal();
+  } else {
+    ord = plan->next_global_ordinal();
+  }
+  gate.key = op_key(0, op, ctx.cycle, ctx.attempt, ord);
+  gate.fault = plan->draw(op, ctx.cycle, ctx.attempt, ord);
+  if (gate.fault == FaultClass::kSlow) {
+    plan->note_injected(FaultClass::kSlow);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(plan->config().slow_ms));
+    gate.fault.reset();
+    check_deadline();
+  } else if (gate.fault) {
+    plan->note_injected(*gate.fault);
+  }
+  return gate;
+}
+
+// Strict prefix of `size` derived from the gate key — what a torn write
+// leaves behind (possibly nothing, never the whole payload).
+std::size_t torn_prefix(std::uint64_t key, std::size_t size) noexcept {
+  if (size <= 1) return 0;
+  return static_cast<std::size_t>(mix64(key ^ 0x7EA2) %
+                                  static_cast<std::uint64_t>(size));
+}
+
+bool write_prefix(const std::string& path, std::string_view bytes,
+                  std::size_t prefix) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  os.write(bytes.data(), static_cast<std::streamsize>(prefix));
+  os.flush();
+  return os.good();
+}
+
+}  // namespace
+
+std::optional<std::string> IoEnv::read_file(const std::string& path) {
+  OpGate gate = begin_op(OpKind::kRead, nullptr, nullptr);
+  if (gate.dead || gate.kill) {
+    if (gate.kill) failpoints()->die();  // kKill exits; kDead falls through
+    t_error = Error::kEio;
+    return std::nullopt;
+  }
+  if (gate.fault == FaultClass::kEio) {
+    t_error = Error::kEio;
+    return std::nullopt;
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::error_code ec;
+    t_error = fs::exists(path, ec) ? Error::kOther : Error::kNone;
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (is.bad()) {
+    t_error = Error::kOther;
+    return std::nullopt;
+  }
+  return std::move(buffer).str();
+}
+
+namespace {
+
+std::optional<MmapFile> map_with_gate(const std::string& path, OpGate gate) {
+  if (gate.dead || gate.kill) {
+    if (gate.kill) failpoints()->die();
+    t_error = Error::kEio;
+    return std::nullopt;
+  }
+  if (gate.fault == FaultClass::kEio) {
+    t_error = Error::kEio;
+    return std::nullopt;
+  }
+  auto mapped = MmapFile::open_ro(path);
+  if (!mapped) t_error = Error::kOther;
+  return mapped;
+}
+
+}  // namespace
+
+std::optional<MmapFile> IoEnv::map_file(const std::string& path) {
+  return map_with_gate(path, begin_op(OpKind::kMap, nullptr, nullptr));
+}
+
+std::optional<MmapFile> IoEnv::map_file(const std::string& path,
+                                        const OpContext& context,
+                                        std::uint64_t ordinal) {
+  return map_with_gate(path, begin_op(OpKind::kMap, &context, &ordinal));
+}
+
+bool IoEnv::write_file(const std::string& path, std::string_view bytes) {
+  OpGate gate = begin_op(OpKind::kWrite, nullptr, nullptr);
+  if (gate.dead) {
+    t_error = Error::kEio;
+    return false;
+  }
+  if (gate.kill) {
+    // A kill mid-write leaves a torn file under the target name — exactly
+    // the .tmp litter a real SIGKILL between write and rename produces.
+    write_prefix(path, bytes, torn_prefix(gate.key, bytes.size()));
+    failpoints()->die();
+    t_error = Error::kEio;
+    return false;
+  }
+  if (gate.fault) {
+    switch (*gate.fault) {
+      case FaultClass::kEio:
+        t_error = Error::kEio;
+        return false;
+      case FaultClass::kEnospc:
+        // Disk-full mid-write: a prefix landed, then the write failed.
+        write_prefix(path, bytes, torn_prefix(gate.key, bytes.size()));
+        t_error = Error::kEnospc;
+        return false;
+      case FaultClass::kShortWrite:
+        // The lying success: a strict prefix persisted but the op reports
+        // OK. Only the downstream checksum can catch this.
+        write_prefix(path, bytes, torn_prefix(gate.key, bytes.size()));
+        t_error = Error::kNone;
+        return true;
+      case FaultClass::kTornTemp:
+        write_prefix(path, bytes, torn_prefix(gate.key, bytes.size()));
+        t_error = Error::kEio;
+        return false;
+      default:
+        break;
+    }
+  }
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    t_error = Error::kOther;
+    return false;
+  }
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.flush();
+  if (!os.good()) {
+    t_error = Error::kOther;
+    return false;
+  }
+  return true;
+}
+
+bool IoEnv::rename_file(const std::string& from, const std::string& to) {
+  OpGate gate = begin_op(OpKind::kRename, nullptr, nullptr);
+  if (gate.dead || gate.kill) {
+    if (gate.kill) failpoints()->die();  // killed before the rename landed
+    t_error = Error::kEio;
+    return false;
+  }
+  if (gate.fault == FaultClass::kEio) {
+    t_error = Error::kEio;
+    return false;
+  }
+  if (gate.fault == FaultClass::kStaleRename) {
+    // Reports success, moves nothing: the metadata update never hit the
+    // journal. The destination keeps whatever it had.
+    t_error = Error::kNone;
+    return true;
+  }
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    t_error = Error::kOther;
+    return false;
+  }
+  return true;
+}
+
+bool IoEnv::remove_file(const std::string& path) {
+  OpGate gate = begin_op(OpKind::kRemove, nullptr, nullptr);
+  if (gate.dead || gate.kill) {
+    if (gate.kill) failpoints()->die();
+    t_error = Error::kEio;
+    return false;
+  }
+  if (gate.fault == FaultClass::kEio) {
+    t_error = Error::kEio;
+    return false;
+  }
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    t_error = Error::kOther;
+    return false;
+  }
+  return true;
+}
+
+bool IoEnv::create_dirs(const std::string& path) {
+  OpGate gate = begin_op(OpKind::kMkdir, nullptr, nullptr);
+  if (gate.dead || gate.kill) {
+    if (gate.kill) failpoints()->die();
+    t_error = Error::kEio;
+    return false;
+  }
+  if (gate.fault == FaultClass::kEio) {
+    t_error = Error::kEio;
+    return false;
+  }
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    t_error = Error::kOther;
+    return false;
+  }
+  return true;
+}
+
+Error IoEnv::last_error() const noexcept { return t_error; }
+
+IoEnv& env() {
+  static IoEnv instance;
+  return instance;
+}
+
+}  // namespace mum::util::io

@@ -5,6 +5,7 @@
 // so every guarantee here is stated as byte- or value-identity against it:
 // the batch path must be a pure storage change, invisible in any output.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdint>
@@ -475,7 +476,10 @@ TEST(BatchOracle, ChaosReportsByteIdenticalToLegacy) {
 
 class BatchResumeTest : public ::testing::Test {
  protected:
-  BatchResumeTest() : dir_(fs::temp_directory_path() / "mum_batch_resume") {
+  // Pid-suffixed so concurrent ctest -j processes cannot collide.
+  BatchResumeTest()
+      : dir_(fs::temp_directory_path() /
+             ("mum_batch_resume_" + std::to_string(::getpid()))) {
     fs::remove_all(dir_);
   }
   ~BatchResumeTest() override { fs::remove_all(dir_); }

@@ -1,6 +1,7 @@
 #include "chaos/chaos.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <filesystem>
@@ -78,6 +79,59 @@ TEST(ChaosSpec, AllSetsEveryDatasetFaultButNotFail) {
   ASSERT_TRUE(bare.has_value());
   EXPECT_DOUBLE_EQ(bare->truncate_stack, 0.02);
   EXPECT_DOUBLE_EQ(bare->flip_byte, 0.02);
+}
+
+TEST(ChaosSpec, ParsesIoFaultKeys) {
+  std::string error;
+  const auto config = chaos::parse_chaos_spec(
+      "io.eio=1%,io.enospc=2%,io.shortwrite=3%,io.torn=4%,"
+      "io.stalerename=5%,io.slow=6%,io.slow_ms=50,seed=9",
+      &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_DOUBLE_EQ(config->io.eio, 0.01);
+  EXPECT_DOUBLE_EQ(config->io.enospc, 0.02);
+  EXPECT_DOUBLE_EQ(config->io.short_write, 0.03);
+  EXPECT_DOUBLE_EQ(config->io.torn_temp, 0.04);
+  EXPECT_DOUBLE_EQ(config->io.stale_rename, 0.05);
+  EXPECT_DOUBLE_EQ(config->io.slow_op, 0.06);
+  EXPECT_EQ(config->io.slow_ms, 50u);
+  EXPECT_EQ(config->seed, 9u);
+  EXPECT_TRUE(config->io.any());
+  EXPECT_TRUE(config->enabled());
+  // io faults alone leave the data-chaos knobs untouched.
+  EXPECT_DOUBLE_EQ(config->flip_byte, 0.0);
+  EXPECT_FALSE(config->any_structural());
+}
+
+TEST(ChaosSpec, IoAllSetsEveryIoClassButNotDataFaults) {
+  const auto config = chaos::parse_chaos_spec("io.all=2%");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_DOUBLE_EQ(config->io.eio, 0.02);
+  EXPECT_DOUBLE_EQ(config->io.enospc, 0.02);
+  EXPECT_DOUBLE_EQ(config->io.short_write, 0.02);
+  EXPECT_DOUBLE_EQ(config->io.torn_temp, 0.02);
+  EXPECT_DOUBLE_EQ(config->io.stale_rename, 0.02);
+  EXPECT_DOUBLE_EQ(config->io.slow_op, 0.02);
+  EXPECT_DOUBLE_EQ(config->flip_byte, 0.0);
+  EXPECT_DOUBLE_EQ(config->truncate_stack, 0.0);
+}
+
+TEST(ChaosSpec, ParsesKillHarnessKnobs) {
+  const auto kill = chaos::parse_chaos_spec("io.kill_at=7");
+  ASSERT_TRUE(kill.has_value());
+  EXPECT_EQ(kill->io.kill_at_op, 7u);
+  EXPECT_EQ(kill->io.kill_mode, util::io::FaultConfig::KillMode::kKill);
+  EXPECT_TRUE(kill->io.any());  // the harness alone enables the plan
+
+  const auto dead = chaos::parse_chaos_spec("io.kill_at=3,io.kill_mode=dead");
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->io.kill_mode, util::io::FaultConfig::KillMode::kDead);
+
+  std::string error;
+  EXPECT_FALSE(
+      chaos::parse_chaos_spec("io.kill_mode=maybe", &error).has_value());
+  EXPECT_FALSE(chaos::parse_chaos_spec("io.bogus=1", &error).has_value());
+  EXPECT_NE(error.find("unknown fault"), std::string::npos);
 }
 
 TEST(ChaosSpec, RejectsMalformedSpecs) {
@@ -232,7 +286,11 @@ TEST(Corruptor, CycleFailureIsDeterministicPerCycle) {
 
 class CheckpointTest : public ::testing::Test {
  protected:
-  CheckpointTest() : dir_(fs::temp_directory_path() / "mum_chaos_ckpt") {
+  // Pid-suffixed: concurrent ctest -j same-fixture processes must not
+  // clobber each other's dirs.
+  CheckpointTest()
+      : dir_(fs::temp_directory_path() /
+             ("mum_chaos_ckpt_" + std::to_string(::getpid()))) {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
@@ -356,7 +414,9 @@ TEST(Containment, CleanRunMatchesRunAllAcrossThreadCounts) {
 
 class ResumeTest : public ::testing::Test {
  protected:
-  ResumeTest() : dir_(fs::temp_directory_path() / "mum_chaos_resume") {
+  ResumeTest()
+      : dir_(fs::temp_directory_path() /
+             ("mum_chaos_resume_" + std::to_string(::getpid()))) {
     fs::remove_all(dir_);
   }
   ~ResumeTest() override { fs::remove_all(dir_); }

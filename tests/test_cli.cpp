@@ -3,6 +3,7 @@
 #include "cli.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -91,7 +92,9 @@ TEST(Ip2AsText, MalformedRejected) {
 class CliPipeline : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "mum_cli_test";
+    // Pid-suffixed so concurrent ctest -j processes cannot collide.
+    dir_ = fs::temp_directory_path() /
+           ("mum_cli_test_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
@@ -354,6 +357,88 @@ TEST_F(CliPipeline, CampaignExitCodesAndManifest) {
   EXPECT_NE(json.find("\"manifest\""), std::string::npos);
   EXPECT_NE(json.find("\"failed\":2"), std::string::npos);
   EXPECT_NE(json.find("injected failure"), std::string::npos);
+}
+
+TEST_F(CliPipeline, CampaignAbortedExitCode) {
+  // Fail-fast (no --keep-going) on a guaranteed failure: remaining cycles
+  // are skipped, which is an abort (5), not a mere partial (2).
+  std::string json;
+  EXPECT_EQ(run_cmd({"campaign", "--small", "--cycles", "3", "--chaos",
+                     "fail=1", "--json", "--quiet"},
+                    &json),
+            kExitAborted);
+  EXPECT_NE(json.find("\"skipped\":"), std::string::npos);
+}
+
+TEST_F(CliPipeline, CampaignDegradedExitCode) {
+  // Persistent disk-full: the report completes but checkpoint persistence
+  // is dropped — degraded-complete (4), and the manifest says why.
+  const std::string ckpt = (dir_ / "ck_enospc").string();
+  std::string json;
+  EXPECT_EQ(run_cmd({"campaign", "--small", "--cycles", "4", "--quiet",
+                     "--checkpoints", ckpt, "--chaos", "io.enospc=1",
+                     "--json"},
+                    &json),
+            kExitDegraded);
+  EXPECT_NE(json.find("\"complete\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoints_degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("persistent enospc"), std::string::npos);
+}
+
+TEST_F(CliPipeline, CampaignSupervisionFlags) {
+  // --retry and --cycle-deadline parse and validate.
+  std::string out;
+  EXPECT_EQ(run_cmd({"campaign", "--small", "--cycles", "1", "--quiet",
+                     "--retry", "2", "--cycle-deadline", "60000"},
+                    &out),
+            kExitOk)
+      << out;
+  EXPECT_EQ(run_cmd({"campaign", "--retry", "-1"}, &out), kExitUsage);
+  EXPECT_EQ(run_cmd({"campaign", "--cycle-deadline", "-5"}, &out),
+            kExitUsage);
+  EXPECT_EQ(run_cmd({"campaign", "--chaos", "io.bogus=1"}, &out),
+            kExitUsage);
+  EXPECT_NE(out.find("unknown fault"), std::string::npos);
+  // A hopeless deadline with slow io: every cycle times out; cycles were
+  // attempted (none skipped), so the run is partial, not aborted.
+  EXPECT_EQ(run_cmd({"campaign", "--small", "--cycles", "1", "--quiet",
+                     "--keep-going", "--checkpoints",
+                     (dir_ / "ck_slow").string(), "--chaos",
+                     "io.slow=1,io.slow_ms=200", "--cycle-deadline", "1",
+                     "--json"},
+                    &out),
+            kExitPartial);
+  EXPECT_NE(out.find("\"timed_out\":1"), std::string::npos);
+}
+
+TEST_F(CliPipeline, CampaignIoChaosKeepsReportBytes) {
+  // Same seed, io chaos on/off: stdout (the science) must be identical;
+  // only the exit code and manifest reflect the weather.
+  std::string clean;
+  ASSERT_EQ(run_cmd({"campaign", "--small", "--cycles", "3", "--quiet"},
+                    &clean),
+            kExitOk);
+  std::string stormy;
+  const int code = run_cmd(
+      {"campaign", "--small", "--cycles", "3", "--quiet", "--retry", "2",
+       "--checkpoints", (dir_ / "ck_io").string(), "--checkpoint-data",
+       "--chaos", "io.all=2%"},
+      &stormy);
+  EXPECT_TRUE(code == kExitOk || code == kExitDegraded) << code;
+  // run_cmd concatenates out+err; --quiet keeps err to warnings only, so
+  // compare the table prefix (stdout comes first).
+  EXPECT_EQ(stormy.substr(0, clean.size()), clean);
+}
+
+TEST(Usage, DocumentsSupervision) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("--retry"), std::string::npos);
+  EXPECT_NE(text.find("--cycle-deadline"), std::string::npos);
+  EXPECT_NE(text.find("io.eio"), std::string::npos);
+  EXPECT_NE(text.find("io.kill_at"), std::string::npos);
+  EXPECT_NE(text.find("4 degraded-complete"), std::string::npos);
+  EXPECT_NE(text.find("5 aborted"), std::string::npos);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "gen/evolve.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -429,7 +430,11 @@ TEST(EvolveRunner, ManifestRecordsDeltaAccounting) {
 
 class EvolveResumeTest : public ::testing::Test {
  protected:
-  EvolveResumeTest() : dir_(fs::temp_directory_path() / "mum_evolve_resume") {
+  // Pid-suffixed: ctest -j runs each discovered test as its own process,
+  // and concurrent same-fixture processes must not share a dir.
+  EvolveResumeTest()
+      : dir_(fs::temp_directory_path() /
+             ("mum_evolve_resume_" + std::to_string(::getpid()))) {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

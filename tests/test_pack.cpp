@@ -3,6 +3,7 @@
 #include "dataset/pack.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -317,7 +318,8 @@ TEST(Pack, ParityWithV2AcrossFormatsAndThreadCounts) {
 // --- MmapFile -----------------------------------------------------------
 
 TEST(MmapFileTest, MapsReadsAndFallsBackGracefully) {
-  const fs::path dir = fs::temp_directory_path() / "mum_pack_mmap";
+  const fs::path dir = fs::temp_directory_path() /
+                       ("mum_pack_mmap_" + std::to_string(::getpid()));
   fs::remove_all(dir);
   fs::create_directories(dir);
 
@@ -371,7 +373,8 @@ TEST(SnapshotSourceTest, MemoryAndBytesSourcesDrain) {
 }
 
 TEST(SnapshotSourceTest, FileSourceStreamsMixedFormats) {
-  const fs::path dir = fs::temp_directory_path() / "mum_pack_source";
+  const fs::path dir = fs::temp_directory_path() /
+                       ("mum_pack_source_" + std::to_string(::getpid()));
   fs::remove_all(dir);
   fs::create_directories(dir);
 

@@ -584,6 +584,8 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
   const long seed = args.take_int("--seed", 20151028);
   const long threads = args.take_int("--threads", 0);
   const long failure_budget = args.take_int("--failure-budget", -1);
+  const long retry = args.take_int("--retry", 0);
+  const long cycle_deadline = args.take_int("--cycle-deadline", 0);
   const bool small = args.take_flag("--small");
   const bool keep_going = args.take_flag("--keep-going");
   const bool json = args.take_flag("--json");
@@ -614,6 +616,14 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
   }
   if (checkpoint_dir && resume_dir && *checkpoint_dir != *resume_dir) {
     err << "--checkpoints and --resume name different directories\n";
+    return kExitUsage;
+  }
+  if (retry < 0) {
+    err << "--retry must be >= 0\n";
+    return kExitUsage;
+  }
+  if (cycle_deadline < 0) {
+    err << "--cycle-deadline must be >= 0 (milliseconds, 0 = none)\n";
     return kExitUsage;
   }
 
@@ -654,6 +664,8 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
   config.threads = static_cast<int>(threads);
   config.keep_going = keep_going;
   config.failure_budget = static_cast<int>(failure_budget);
+  config.retries = static_cast<int>(retry);
+  config.cycle_deadline_ms = static_cast<std::uint32_t>(cycle_deadline);
   if (resume_dir) {
     config.checkpoint_dir = *resume_dir;
     config.resume = true;
@@ -749,11 +761,35 @@ int run_campaign(Args& args, std::ostream& out, std::ostream& err) {
     }
     err << manifest.count(run::CycleOutcome::kFailed) << " failed, "
         << manifest.count(run::CycleOutcome::kSkipped) << " skipped";
+    if (const auto timed_out = manifest.count(run::CycleOutcome::kTimedOut)) {
+      err << ", " << timed_out << " timed out";
+    }
+    if (const auto retries = manifest.retries_total()) {
+      err << "; " << retries << " retries";
+    }
     const std::uint64_t injected = manifest.chaos_total().total();
     if (injected > 0) err << "; " << injected << " chaos faults injected";
+    if (manifest.io.total_injected() > 0) {
+      err << "; " << manifest.io.total_injected() << "/" << manifest.io.ops
+          << " io ops faulted";
+    }
+    if (manifest.degraded()) {
+      err << "; degraded";
+      if (!manifest.degraded_reason.empty()) {
+        err << " (" << manifest.degraded_reason << ")";
+      }
+    }
     err << '\n';
   }
-  return manifest.complete() ? kExitOk : kExitPartial;
+  // Exit mapping: the report's completeness first, then operational health.
+  // A degraded-complete run (4) produced every report byte; an aborted run
+  // (5) never attempted some cycles; a partial run (2) attempted everything
+  // but contained failures.
+  if (manifest.complete()) {
+    return manifest.degraded() ? kExitDegraded : kExitOk;
+  }
+  return manifest.count(run::CycleOutcome::kSkipped) > 0 ? kExitAborted
+                                                         : kExitPartial;
 }
 
 // ----------------------------------------------------------------------
@@ -782,6 +818,7 @@ std::string usage() {
       "            [--evolve on|off] [--scale routers=N[,lsps=M]]\n"
       "            [--churn link=P,metric=P,router=P,resignal=P]\n"
       "            [--chaos SPEC] [--keep-going] [--failure-budget N]\n"
+      "            [--retry N] [--cycle-deadline MS]\n"
       "            [--checkpoints DIR] [--resume DIR] [--checkpoint-data]\n"
       "            [--format v2|v3] [--json] [--quiet | --verbose]\n"
       "            [--telemetry[=FILE]] [--trace-out FILE]\n"
@@ -793,7 +830,16 @@ std::string usage() {
       "stream (interchange default), v3 the mmap-able columnar pack.\n"
       "Readers sniff the magic, so any command reads either format.\n"
       "--chaos takes fault=rate pairs, e.g. 'all=2%' or\n"
-      "'flip=0.01,blackout=5%,fail=0.1,seed=7'.\n"
+      "'flip=0.01,blackout=5%,fail=0.1,seed=7'. io.* keys inject faults\n"
+      "into the I/O layer itself (checkpoint/shard reads and writes):\n"
+      "io.eio, io.enospc, io.shortwrite, io.torn, io.stalerename, io.slow\n"
+      "(or io.all=RATE for all six), io.slow_ms=N sizes the stall, and\n"
+      "io.kill_at=K + io.kill_mode=kill|dead crash or deaden the process\n"
+      "at the K-th I/O op (crash-recovery torture). --retry N re-runs a\n"
+      "failed cycle up to N times (fresh io fault draws per attempt; report\n"
+      "bytes never depend on attempts); --cycle-deadline MS abandons a\n"
+      "cycle as timed_out at a cooperative deadline. Corrupt checkpoints\n"
+      "and shards are moved to <dir>/quarantine/, never deleted.\n"
       "--threads 0 (the default) uses one thread per hardware thread; any\n"
       "value produces identical output (deterministic parallelism).\n"
       "--evolve on (the default) advances one standing world cycle to cycle\n"
@@ -807,7 +853,9 @@ std::string usage() {
       "Neither changes a report byte.\n"
       "\n"
       "exit codes: 0 success, 1 usage error, 2 partial run (contained\n"
-      "failures), 3 fatal (I/O or undecodable input).\n";
+      "failures), 3 fatal (I/O or undecodable input), 4 degraded-complete\n"
+      "(report complete; persistence degraded or state quarantined),\n"
+      "5 aborted (failure policy stopped the run; cycles were skipped).\n";
 }
 
 int run(int argc, const char* const* argv, std::ostream& out,

@@ -24,10 +24,17 @@ namespace mum::cli {
 //   1 — usage error (unknown command/flag, malformed or missing argument)
 //   2 — partial run: failures were contained, results are incomplete
 //   3 — fatal: I/O failure or unreadable/undecodable input data
+//   4 — degraded-complete: the report is complete and correct, but an
+//       operational promise broke (checkpoint persistence dropped under
+//       ENOSPC, checkpoint writes failed, or corrupt state was quarantined)
+//   5 — aborted: the failure policy stopped the run early (fail-fast or
+//       exhausted failure budget); skipped cycles were never attempted
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitUsage = 1;
 inline constexpr int kExitPartial = 2;
 inline constexpr int kExitFatal = 3;
+inline constexpr int kExitDegraded = 4;
+inline constexpr int kExitAborted = 5;
 
 // Minimal flag parser: "--name value", "--flag", positionals.
 class Args {

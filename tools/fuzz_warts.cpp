@@ -18,6 +18,13 @@
 //   * whatever tolerant decode salvages re-serializes and re-parses cleanly
 //     in BOTH formats (the salvaged subset is a valid snapshot in its own
 //     right, and the two containers agree on it).
+//
+// A third arm fuzzes run::parse_cycle_report (the ".mumc" checkpoint
+// format resume trusts): mutated checkpoints with header stomps, checksum
+// stomps, truncations — and payload stomps *re-signed* with a fresh
+// checksum so the record decoders beneath the integrity gate get driven
+// too. Oracle: never crashes, and anything accepted re-serializes to a
+// fixpoint (serialize∘parse is idempotent).
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +33,7 @@
 
 #include "dataset/pack.h"
 #include "dataset/warts_lite.h"
+#include "run/checkpoint.h"
 #include "util/rng.h"
 
 namespace {
@@ -101,11 +109,31 @@ void run_one(const std::string& bytes) {
   }
 }
 
+// Checkpoint (.mumc) arm: parse never crashes; acceptance implies the
+// serialize∘parse fixpoint (one application normalizes map ordering and
+// integer narrowing; after that the bytes must be stable).
+void run_one_checkpoint(const std::string& bytes) {
+  const auto report = mum::run::parse_cycle_report(bytes);
+  if (!report) return;
+  const std::string once = mum::run::serialize_cycle_report(*report);
+  const auto again = mum::run::parse_cycle_report(once);
+  check(again.has_value(), "accepted checkpoint does not re-parse");
+  check(mum::run::serialize_cycle_report(*again) == once,
+        "checkpoint serialize/parse is not a fixpoint");
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
-  run_one(std::string(reinterpret_cast<const char*>(data), size));
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  // Route by magic: "MUMC" buffers exercise the checkpoint decoder (the
+  // snapshot sniffers would reject them at the magic check anyway).
+  if (bytes.size() >= 4 && bytes.compare(0, 4, "MUMC") == 0) {
+    run_one_checkpoint(bytes);
+  } else {
+    run_one(bytes);
+  }
   return 0;
 }
 
@@ -183,6 +211,145 @@ std::string mutate(std::string bytes, mum::util::Rng& rng) {
   }
 }
 
+// A structurally rich cycle report to mutate — every serialized section
+// populated (stats, per-AS tables, IOTPs with multi-LSP variants, decode
+// diagnostics with retained samples).
+mum::lpr::CycleReport seed_report(mum::util::Rng& rng) {
+  mum::lpr::CycleReport report;
+  report.cycle_id = static_cast<std::uint32_t>(rng.below(60));
+  report.date = "2012-09";
+  report.extract_stats.traces_total = rng.below(100000);
+  report.extract_stats.traces_with_explicit_tunnel = rng.below(10000);
+  report.extract_stats.lsps_observed = rng.below(5000);
+  report.extract_stats.lsps_incomplete = rng.below(500);
+  report.extract_stats.mpls_ips = rng.below(2000);
+  report.extract_stats.non_mpls_ips = rng.below(20000);
+  report.filter_stats.observed = rng.below(5000);
+  report.filter_stats.complete = rng.below(4000);
+  report.filter_stats.after_intra_as = rng.below(3000);
+  report.filter_stats.after_target_as = rng.below(2000);
+  report.filter_stats.after_transit_diversity = rng.below(1000);
+  report.filter_stats.after_persistence = rng.below(900);
+  const auto counts = [&rng] {
+    mum::lpr::ClassCounts c;
+    c.mono_lsp = rng.below(40);
+    c.multi_fec = rng.below(10);
+    c.mono_fec = rng.below(20);
+    c.unclassified = rng.below(5);
+    c.parallel_links = rng.below(10);
+    c.routers_disjoint = rng.below(10);
+    return c;
+  };
+  report.global = counts();
+  const int ases = 1 + static_cast<int>(rng.below(4));
+  for (int a = 0; a < ases; ++a) {
+    const auto asn = static_cast<std::uint32_t>(1 + rng.below(65000));
+    report.per_as[asn] = counts();
+    report.dynamic_as[asn] = rng.chance(0.3);
+  }
+  const int iotps = 1 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < iotps; ++i) {
+    mum::lpr::IotpRecord rec;
+    rec.key = {static_cast<std::uint32_t>(1 + rng.below(65000)),
+               mum::net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+               mum::net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()))};
+    const int variants = 1 + static_cast<int>(rng.below(3));
+    for (int v = 0; v < variants; ++v) {
+      mum::lpr::Lsp lsp;
+      lsp.asn = rec.key.asn;
+      lsp.ingress = rec.key.ingress;
+      lsp.egress = rec.key.egress;
+      lsp.egress_labeled = rng.chance(0.2);
+      const int lsrs = static_cast<int>(rng.below(5));
+      for (int l = 0; l < lsrs; ++l) {
+        mum::lpr::LsrHop hop;
+        hop.addr = mum::net::Ipv4Addr(static_cast<std::uint32_t>(rng.next()));
+        const int labels = 1 + static_cast<int>(rng.below(3));
+        for (int k = 0; k < labels; ++k) {
+          hop.labels.push_back(static_cast<std::uint32_t>(rng.below(1 << 20)));
+        }
+        lsp.lsrs.push_back(std::move(hop));
+      }
+      rec.variants.push_back(std::move(lsp));
+    }
+    const int dsts = 1 + static_cast<int>(rng.below(3));
+    for (int d = 0; d < dsts; ++d) {
+      rec.dst_asns.push_back(static_cast<std::uint32_t>(rng.below(65000)));
+    }
+    rec.tunnel_class = static_cast<mum::lpr::TunnelClass>(rng.below(4));
+    rec.mono_fec_kind = static_cast<mum::lpr::MonoFecKind>(rng.below(3));
+    rec.length = static_cast<int>(rng.below(10));
+    rec.width = static_cast<int>(rng.below(5));
+    rec.symmetry = static_cast<int>(rng.below(4));
+    report.iotps.push_back(std::move(rec));
+  }
+  for (std::uint64_t& c : report.decode.counts) c = rng.below(20);
+  report.decode.records_decoded = rng.below(100000);
+  report.decode.records_skipped = rng.below(100);
+  const int samples = static_cast<int>(rng.below(4));
+  for (int s = 0; s < samples; ++s) {
+    report.decode.samples.push_back(mum::dataset::DecodeFault{
+        static_cast<mum::dataset::FaultClass>(rng.below(12)),
+        static_cast<std::size_t>(rng.below(4096)), rng.below(1000),
+        "fuzz sample"});
+  }
+  return report;
+}
+
+// Re-sign a mutated checkpoint: recompute the trailing FNV-1a over the
+// (possibly stomped) payload so the mutation survives the integrity gate
+// and reaches the record decoders underneath.
+std::string resign_checkpoint(std::string bytes) {
+  constexpr std::size_t kHeader = 5;  // magic + version
+  if (bytes.size() < kHeader + 8) return bytes;
+  const std::uint64_t sum = mum::util::fnv1a(
+      std::string_view(bytes).substr(kHeader, bytes.size() - kHeader - 8));
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+  return bytes;
+}
+
+// Checkpoint-targeted mutation schedule: beyond the generic byte-level
+// mutate(), stomp the 5-byte header (magic/version checks), the 8-byte
+// checksum trailer (integrity gate), or the payload re-signed (deep
+// decoder paths: varint bounds, count-vs-remaining-bytes claims).
+std::string mutate_checkpoint(std::string bytes, mum::util::Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: {  // header stomp
+      const std::size_t at = static_cast<std::size_t>(
+          rng.below(bytes.size() < 5 ? bytes.size() : 5));
+      if (at < bytes.size()) {
+        bytes[at] = static_cast<char>(rng.below(256));
+      }
+      return bytes;
+    }
+    case 1: {  // checksum stomp
+      if (bytes.size() >= 8) {
+        bytes[bytes.size() - 1 - rng.below(8)] =
+            static_cast<char>(rng.below(256));
+      }
+      return bytes;
+    }
+    case 2: {  // payload stomp, re-signed past the integrity gate
+      if (bytes.size() > 5 + 8 + 4) {
+        const std::size_t span = bytes.size() - 5 - 8;
+        const int stomps = 1 + static_cast<int>(rng.below(4));
+        for (int s = 0; s < stomps; ++s) {
+          const std::size_t at = 5 + static_cast<std::size_t>(rng.below(span));
+          bytes[at] = rng.chance(0.3) ? static_cast<char>(0xff)
+                                      : static_cast<char>(rng.below(256));
+        }
+        bytes = resign_checkpoint(std::move(bytes));
+      }
+      return bytes;
+    }
+    default:  // generic byte-level mutation (mostly checksum-rejected)
+      return mutate(std::move(bytes), rng);
+  }
+}
+
 // Pack-targeted mutation: stomp fields inside the fixed header or the
 // section table (the first kPackHeaderBytes + 10 * kPackSectionEntryBytes
 // bytes), where a generic 4-byte stomp rarely lands. This is what drives
@@ -227,6 +394,18 @@ int main(int argc, char** argv) {
 
   mum::util::Rng rng(seed);
   for (std::uint64_t i = 0; i < iters; ++i) {
+    if (rng.chance(0.2)) {
+      // Checkpoint arm: a valid serialized report through the targeted
+      // mutation schedule (or raw, exercising the accept path).
+      std::string bytes =
+          mum::run::serialize_cycle_report(seed_report(rng));
+      const int rounds = static_cast<int>(rng.below(3));
+      for (int r = 0; r < rounds; ++r) {
+        bytes = mutate_checkpoint(std::move(bytes), rng);
+      }
+      run_one_checkpoint(bytes);
+      continue;
+    }
     std::string bytes;
     if (rng.chance(0.25)) {
       // Pure noise, random length (exercises the container checks).
